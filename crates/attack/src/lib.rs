@@ -1,0 +1,31 @@
+//! Source-level fault-injection engine emulating adversarial patch attacks.
+//!
+//! The paper emulates physical patches (on the lead vehicle's rear, or on
+//! the road surface) by perturbing the perception DNN's outputs directly,
+//! with parameters taken from prior physical-attack studies (Table III):
+//!
+//! | Type   | Target variable    | Attack timing                  | Value    |
+//! |--------|--------------------|--------------------------------|----------|
+//! | Single | Relative distance  | RD < 80 m                      | 10–38 m  |
+//! | Single | Desired curvature  | ego drives over the road patch | 3 % FS   |
+//! | Mixed  | RD & curvature     | either condition               | as above |
+//!
+//! The relative-distance offsets escalate as the true gap closes — +10 m
+//! below 80 m, +15 m below 25 m, +38 m below 20 m — mirroring the
+//! patch-perception behaviour measured by the ACC-attack study the paper
+//! draws its numbers from.
+//!
+//! For the road-patch (curvature) attack, the Dirty-Road-Patch style
+//! perturbation bends the *perceived path*: both the desired curvature and
+//! the lane-position outputs of the DNN are consistent with the poisoned
+//! path, so the injector offsets the curvature and pins the perceived lane
+//! position to "centred". Human eyes are unaffected; only DNN outputs are.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod patch;
+
+pub use fault::{FaultContext, FaultInjector, FaultSpec, FaultType};
+pub use patch::{rd_offset_for, CurvatureFault, RdFault, RD_TRIGGER_RANGE};

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the full closed-loop platform: cost of one
+//! 10 ms cycle and of complete runs, with and without attack/interventions.
+
+use adas_attack::{FaultInjector, FaultSpec, FaultType};
+use adas_core::{InterventionConfig, Platform, PlatformConfig};
+use adas_scenarios::{InitialPosition, ScenarioId, ScenarioSetup};
+use adas_simulator::DeterministicRng;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+fn make_platform(iv: InterventionConfig, fault: Option<FaultType>) -> Platform {
+    let mut rng = DeterministicRng::for_run(7, 0, 0, 0);
+    let setup = ScenarioSetup::build(ScenarioId::S1, InitialPosition::Near, &mut rng);
+    let injector = match fault {
+        Some(ft) => FaultInjector::new(FaultSpec::new(ft, setup.patch_start_s)),
+        None => FaultInjector::disabled(),
+    };
+    Platform::new(
+        &setup,
+        PlatformConfig::with_interventions(iv),
+        injector,
+        None,
+        &mut rng,
+    )
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform_step");
+    group.bench_function("benign_no_interventions", |b| {
+        let mut p = make_platform(InterventionConfig::none(), None);
+        b.iter(|| black_box(p.step()));
+    });
+    group.bench_function("attacked_all_interventions", |b| {
+        let mut p = make_platform(
+            InterventionConfig::driver_check_aeb_independent(),
+            Some(FaultType::Mixed),
+        );
+        b.iter(|| black_box(p.step()));
+    });
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform_run");
+    group.sample_size(10);
+    group.bench_function("rd_attack_aeb_independent", |b| {
+        b.iter_batched(
+            || {
+                make_platform(
+                    InterventionConfig::aeb_independent_only(),
+                    Some(FaultType::RelativeDistance),
+                )
+            },
+            |mut p| black_box(p.run()),
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! ML-baseline ablation: the paper explored two-layer LSTM configurations
+//! (256-128 … 64-32 hidden units) and selected 128-64. This harness trains
+//! a sweep of configurations on the same fault-free data, compares their
+//! regression losses, and evaluates the smallest/selected ones in the
+//! closed loop against the relative-distance attack.
+//!
+//! Usage: `ml_ablation [reps]` (campaign repetitions for the closed-loop
+//! stage; the loss comparison always runs).
+
+use adas_attack::FaultType;
+use adas_bench::{reps_from_args, write_results_file, CAMPAIGN_SEED};
+use adas_core::{
+    collect_training_data, run_campaign, CellStats, InterventionConfig, PlatformConfig,
+};
+use adas_ml::{train, LstmPredictor, ModelSpec, TrainConfig};
+
+fn main() {
+    let reps = reps_from_args().min(3);
+    eprintln!("[ablation] collecting fault-free training data…");
+    let data = collect_training_data(CAMPAIGN_SEED, 1, 25);
+    eprintln!("[ablation] {} windows", data.len());
+
+    let configs = [
+        ("32-16", 32usize, 16usize),
+        ("64-32", 64, 32),
+        ("128-64 (paper best)", 128, 64),
+    ];
+
+    let mut csv = String::from("config,params,final_loss,prevented_pct\n");
+    println!("config               params     final MSE   RD-attack prevented");
+    for (label, h1, h2) in configs {
+        let spec = ModelSpec {
+            hidden1: h1,
+            hidden2: h2,
+            seed: 0xAD45,
+        };
+        let mut model = LstmPredictor::new(spec);
+        let report = train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        );
+        let loss = report.final_loss();
+
+        let cfg = PlatformConfig::with_interventions(InterventionConfig::ml_only());
+        let records = run_campaign(
+            Some(FaultType::RelativeDistance),
+            &cfg,
+            Some(&model),
+            CAMPAIGN_SEED,
+            reps,
+        );
+        let stats = CellStats::from_records(records.iter().map(|(_, r)| r));
+        println!(
+            "{label:20} {:9} {loss:11.5} {:8.2}%",
+            model.param_count(),
+            stats.prevented_pct
+        );
+        csv.push_str(&format!(
+            "{label},{},{loss:.6},{:.2}\n",
+            model.param_count(),
+            stats.prevented_pct
+        ));
+    }
+    write_results_file("ml_ablation.csv", &csv);
+}

@@ -1,0 +1,92 @@
+//! Regenerates **Table VI** — the paper's main result: accidents, prevented
+//! rate, mitigation times, and trigger rates for every combination of fault
+//! type (relative distance / desired curvature / mixed) and safety
+//! intervention configuration, including the ML baseline (Algorithm 1).
+//!
+//! Usage: `table_vi [reps]` (default 10 repetitions per scenario×position;
+//! pass a smaller number for a quick look).
+
+use adas_attack::FaultType;
+use adas_bench::{
+    paper, reps_from_args, trained_baseline, write_results_file, CAMPAIGN_SEED,
+};
+use adas_core::{
+    fmt_opt_time, run_campaign, CellStats, InterventionConfig, PlatformConfig, TextTable,
+};
+use adas_ml::ModelSpec;
+
+fn main() {
+    let reps = reps_from_args();
+    let model = trained_baseline(CAMPAIGN_SEED, ModelSpec::default());
+
+    let mut csv = String::from(
+        "fault,config,runs,a1_pct,a2_pct,prevented_pct,aeb_mt,driver_brake_mt,driver_steer_mt,\
+         aeb_trigger_pct,driver_brake_trigger_pct,driver_steer_trigger_pct,ml_trigger_pct\n",
+    );
+
+    for fault in FaultType::ALL {
+        println!("\n=== Fault type: {fault} (runs/cell: {}) ===\n", 12 * reps);
+        let mut table = TextTable::new([
+            "Interventions",
+            "A1",
+            "A2",
+            "Prevented",
+            "mtAEB",
+            "mtDrvBrake",
+            "mtDrvSteer",
+            "trAEB",
+            "trDrvBrake",
+            "trDrvSteer",
+            "| paper A1",
+            "A2",
+            "Prev",
+        ]);
+        for iv in InterventionConfig::table_vi_rows() {
+            let cfg = PlatformConfig::with_interventions(iv);
+            let ml = iv.ml.then_some(&model);
+            let records = run_campaign(Some(fault), &cfg, ml, CAMPAIGN_SEED, reps);
+            let s = CellStats::from_records(records.iter().map(|(_, r)| r));
+            let reference = paper::TABLE_VI
+                .iter()
+                .find(|(f, row, ..)| *f == fault.label() && *row == iv.label())
+                .copied();
+            let (pa1, pa2, pprev) = reference.map_or((f64::NAN, f64::NAN, f64::NAN), |r| {
+                (r.2, r.3, r.4)
+            });
+            table.row([
+                iv.label(),
+                format!("{:.2}%", s.a1_pct),
+                format!("{:.2}%", s.a2_pct),
+                format!("{:.2}%", s.prevented_pct),
+                fmt_opt_time(s.aeb_mitigation_time),
+                fmt_opt_time(s.driver_brake_mitigation_time),
+                fmt_opt_time(s.driver_steer_mitigation_time),
+                format!("{:.1}%", s.aeb_trigger_rate),
+                format!("{:.1}%", s.driver_brake_trigger_rate),
+                format!("{:.1}%", s.driver_steer_trigger_rate),
+                format!("| {pa1:.2}%"),
+                format!("{pa2:.2}%"),
+                format!("{pprev:.2}%"),
+            ]);
+            csv.push_str(&format!(
+                "{},{},{},{:.2},{:.2},{:.2},{},{},{},{:.2},{:.2},{:.2},{:.2}\n",
+                fault.label(),
+                iv.label(),
+                s.runs,
+                s.a1_pct,
+                s.a2_pct,
+                s.prevented_pct,
+                fmt_opt_time(s.aeb_mitigation_time),
+                fmt_opt_time(s.driver_brake_mitigation_time),
+                fmt_opt_time(s.driver_steer_mitigation_time),
+                s.aeb_trigger_rate,
+                s.driver_brake_trigger_rate,
+                s.driver_steer_trigger_rate,
+                s.ml_trigger_rate,
+            ));
+        }
+        println!("{}", table.render());
+    }
+
+    write_results_file("table_vi.csv", &csv);
+}

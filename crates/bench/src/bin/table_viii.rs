@@ -1,0 +1,54 @@
+//! Regenerates **Table VIII** — "Hazard Prevention Rate vs Road Friction":
+//! the Driver + SafetyCheck + AEB-Compromised configuration (the paper's
+//! footnote) under default, −25 %, −50 % and −75 % road friction, for the
+//! relative-distance and curvature fault types.
+
+use adas_attack::FaultType;
+use adas_bench::{paper, reps_from_args, write_results_file, CAMPAIGN_SEED};
+use adas_core::{run_campaign, CellStats, InterventionConfig, PlatformConfig, TextTable};
+use adas_simulator::FrictionCondition;
+
+fn main() {
+    let reps = reps_from_args();
+    let conditions = FrictionCondition::TABLE_VIII;
+
+    let mut header: Vec<String> = vec!["Fault Type".into()];
+    header.extend(conditions.iter().map(|c| c.label().to_owned()));
+    header.push("| paper Default".into());
+    header.push("75% off".into());
+    let mut table = TextTable::new(header);
+    let mut csv = String::from("fault,friction,prevented_pct\n");
+
+    for (i, fault) in [FaultType::RelativeDistance, FaultType::DesiredCurvature]
+        .into_iter()
+        .enumerate()
+    {
+        eprintln!("[table VIII] {fault}…");
+        let mut row: Vec<String> = vec![fault.label().into()];
+        for condition in conditions {
+            let mut cfg = PlatformConfig::with_interventions(
+                InterventionConfig::driver_check_aeb_compromised(),
+            );
+            cfg.friction = condition;
+            let records = run_campaign(Some(fault), &cfg, None, CAMPAIGN_SEED, reps);
+            let s = CellStats::from_records(records.iter().map(|(_, r)| r));
+            row.push(format!("{:.2}%", s.prevented_pct));
+            csv.push_str(&format!(
+                "{},{},{:.2}\n",
+                fault.label(),
+                condition.label(),
+                s.prevented_pct
+            ));
+        }
+        let p = paper::TABLE_VIII[i].1;
+        row.push(format!("| {:.2}%", p[0]));
+        row.push(format!("{:.2}%", p[3]));
+        table.row(row);
+    }
+
+    println!(
+        "Table VIII — prevention rate vs road friction\n(Driver + SafetyCheck + AEB-Compromised)\n"
+    );
+    println!("{}", table.render());
+    write_results_file("table_viii.csv", &csv);
+}

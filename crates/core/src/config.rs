@@ -1,0 +1,225 @@
+//! Platform configuration: which interventions are enabled, environment
+//! conditions, and subsystem parameters.
+
+use adas_control::AdasConfig;
+use adas_perception::PerceptionConfig;
+use adas_safety::AebsMode;
+use adas_scenarios::HazardConfig;
+use adas_simulator::FrictionCondition;
+use serde::{Deserialize, Serialize};
+
+/// Which safety interventions are active — one value per Table VI row
+/// pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterventionConfig {
+    /// Human-driver reaction simulator enabled.
+    pub driver: bool,
+    /// Driver reaction time, seconds (the paper's default is 2.5 s; Table
+    /// VII sweeps 1.0–3.5 s).
+    pub driver_reaction_time: f64,
+    /// PANDA-style firmware safety checking enabled.
+    pub safety_check: bool,
+    /// AEBS configuration (disabled / compromised input / independent).
+    pub aebs: AebsMode,
+    /// ML-based mitigation (Algorithm 1) enabled.
+    pub ml: bool,
+}
+
+impl InterventionConfig {
+    /// No interventions at all (the attack-impact baseline rows).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            driver: false,
+            driver_reaction_time: 2.5,
+            safety_check: false,
+            aebs: AebsMode::Disabled,
+            ml: false,
+        }
+    }
+
+    /// Driver + safety check.
+    #[must_use]
+    pub fn driver_and_check() -> Self {
+        Self {
+            driver: true,
+            safety_check: true,
+            ..Self::none()
+        }
+    }
+
+    /// Driver + safety check + AEB on compromised data.
+    #[must_use]
+    pub fn driver_check_aeb_compromised() -> Self {
+        Self {
+            aebs: AebsMode::Compromised,
+            ..Self::driver_and_check()
+        }
+    }
+
+    /// Driver + safety check + AEB on an independent sensor.
+    #[must_use]
+    pub fn driver_check_aeb_independent() -> Self {
+        Self {
+            aebs: AebsMode::Independent,
+            ..Self::driver_and_check()
+        }
+    }
+
+    /// AEB alone, on compromised data.
+    #[must_use]
+    pub fn aeb_compromised_only() -> Self {
+        Self {
+            aebs: AebsMode::Compromised,
+            ..Self::none()
+        }
+    }
+
+    /// AEB alone, on an independent sensor.
+    #[must_use]
+    pub fn aeb_independent_only() -> Self {
+        Self {
+            aebs: AebsMode::Independent,
+            ..Self::none()
+        }
+    }
+
+    /// Driver alone.
+    #[must_use]
+    pub fn driver_only() -> Self {
+        Self {
+            driver: true,
+            ..Self::none()
+        }
+    }
+
+    /// ML mitigation alone.
+    #[must_use]
+    pub fn ml_only() -> Self {
+        Self {
+            ml: true,
+            ..Self::none()
+        }
+    }
+
+    /// The eight Table VI row configurations, in paper order.
+    #[must_use]
+    pub fn table_vi_rows() -> [InterventionConfig; 8] {
+        [
+            Self::none(),
+            Self::driver_and_check(),
+            Self::driver_check_aeb_compromised(),
+            Self::driver_check_aeb_independent(),
+            Self::aeb_compromised_only(),
+            Self::aeb_independent_only(),
+            Self::driver_only(),
+            Self::ml_only(),
+        ]
+    }
+
+    /// Compact label like the paper's check-mark columns.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.driver {
+            parts.push("Driver".to_owned());
+        }
+        if self.safety_check {
+            parts.push("Check".to_owned());
+        }
+        match self.aebs {
+            AebsMode::Disabled => {}
+            AebsMode::Compromised => parts.push("AEB-Comp".to_owned()),
+            AebsMode::Independent => parts.push("AEB-Indep".to_owned()),
+        }
+        if self.ml {
+            parts.push("ML".to_owned());
+        }
+        if parts.is_empty() {
+            "None".to_owned()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl Default for InterventionConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Full platform configuration for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Which safety interventions are active.
+    pub interventions: InterventionConfig,
+    /// Road-surface condition.
+    pub friction: FrictionCondition,
+    /// Maximum steps per run (the paper uses 10 000 ≈ 100 s).
+    pub max_steps: usize,
+    /// Perception emulator parameters.
+    pub perception: PerceptionConfig,
+    /// ADAS controller parameters.
+    pub adas: AdasConfig,
+    /// Hazard detector thresholds.
+    pub hazards: HazardConfig,
+    /// End the run early once the ego has been stationary this many steps
+    /// (0 disables). Saves campaign time after a successful full stop.
+    pub quiescence_steps: usize,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            interventions: InterventionConfig::none(),
+            friction: FrictionCondition::Default,
+            max_steps: adas_simulator::units::STEPS_PER_RUN,
+            perception: PerceptionConfig::default(),
+            adas: AdasConfig::default(),
+            hazards: HazardConfig::default(),
+            quiescence_steps: 300,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Default platform with the given interventions.
+    #[must_use]
+    pub fn with_interventions(interventions: InterventionConfig) -> Self {
+        Self {
+            interventions,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_rows_match_paper_layout() {
+        let rows = InterventionConfig::table_vi_rows();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].label(), "None");
+        assert_eq!(rows[1].label(), "Driver+Check");
+        assert_eq!(rows[2].label(), "Driver+Check+AEB-Comp");
+        assert_eq!(rows[3].label(), "Driver+Check+AEB-Indep");
+        assert_eq!(rows[4].label(), "AEB-Comp");
+        assert_eq!(rows[5].label(), "AEB-Indep");
+        assert_eq!(rows[6].label(), "Driver");
+        assert_eq!(rows[7].label(), "ML");
+    }
+
+    #[test]
+    fn default_reaction_time_is_paper_value() {
+        assert_eq!(InterventionConfig::driver_only().driver_reaction_time, 2.5);
+    }
+
+    #[test]
+    fn default_run_length() {
+        let c = PlatformConfig::default();
+        assert_eq!(c.max_steps, 10_000);
+    }
+}

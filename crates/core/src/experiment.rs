@@ -1,0 +1,327 @@
+//! Campaign runner: sweeps scenarios × positions × repetitions (in
+//! parallel, deterministically) and aggregates the statistics the paper's
+//! tables report.
+
+use crate::config::PlatformConfig;
+use crate::platform::Platform;
+use adas_attack::{FaultInjector, FaultSpec, FaultType};
+use adas_ml::{
+    ControlTarget, Dataset, LstmPredictor, MitigationConfig, MlMitigator, StateFeatures,
+};
+use adas_scenarios::{AccidentKind, InitialPosition, RunRecord, ScenarioId, ScenarioSetup};
+use adas_simulator::DeterministicRng;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one run inside a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunId {
+    /// Driving scenario.
+    pub scenario: ScenarioId,
+    /// Initial position / road pairing.
+    pub position: InitialPosition,
+    /// Repetition index (the paper repeats each configuration 10×).
+    pub repetition: u32,
+}
+
+/// Executes a single fully-specified run.
+#[must_use]
+pub fn run_single(
+    id: RunId,
+    fault: Option<FaultType>,
+    config: &PlatformConfig,
+    ml_model: Option<&LstmPredictor>,
+    campaign_seed: u64,
+) -> RunRecord {
+    let mut setup_rng = DeterministicRng::for_run(
+        campaign_seed,
+        id.scenario.index() as u64,
+        id.position.index() as u64,
+        u64::from(id.repetition),
+    );
+    let setup = ScenarioSetup::build(id.scenario, id.position, &mut setup_rng);
+    let injector = match fault {
+        Some(ft) => FaultInjector::new(FaultSpec::new(ft, setup.patch_start_s)),
+        None => FaultInjector::disabled(),
+    };
+    let ml = ml_model
+        .filter(|_| config.interventions.ml)
+        .map(|m| MlMitigator::new(m.clone(), MitigationConfig::default()));
+    let mut platform = Platform::new(&setup, *config, injector, ml, &mut setup_rng);
+    platform.run()
+}
+
+/// Runs a full campaign cell: every scenario × both positions ×
+/// `repetitions`, in parallel across threads. Results are returned in a
+/// deterministic order regardless of thread scheduling.
+#[must_use]
+pub fn run_campaign(
+    fault: Option<FaultType>,
+    config: &PlatformConfig,
+    ml_model: Option<&LstmPredictor>,
+    campaign_seed: u64,
+    repetitions: u32,
+) -> Vec<(RunId, RunRecord)> {
+    let mut ids = Vec::new();
+    for scenario in ScenarioId::ALL {
+        for position in InitialPosition::ALL {
+            for repetition in 0..repetitions {
+                ids.push(RunId {
+                    scenario,
+                    position,
+                    repetition,
+                });
+            }
+        }
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(ids.len().max(1));
+    let chunk = ids.len().div_ceil(threads);
+    let mut results: Vec<Option<(RunId, RunRecord)>> = vec![None; ids.len()];
+
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, id_chunk) in results.chunks_mut(chunk).zip(ids.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, id) in slot_chunk.iter_mut().zip(id_chunk) {
+                    let rec = run_single(*id, fault, config, ml_model, campaign_seed);
+                    *slot = Some((*id, rec));
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    results.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Aggregated statistics for one Table VI cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Number of runs.
+    pub runs: usize,
+    /// Fraction ending in A1 (forward collision), percent.
+    pub a1_pct: f64,
+    /// Fraction ending in A2 (lane violation), percent.
+    pub a2_pct: f64,
+    /// Fraction with no accident, percent.
+    pub prevented_pct: f64,
+    /// Fraction of runs with any hazard, percent.
+    pub hazard_pct: f64,
+    /// Mean time from fault start to AEB braking, seconds.
+    pub aeb_mitigation_time: Option<f64>,
+    /// Mean time from fault start to the driver's longitudinal trigger,
+    /// seconds.
+    pub driver_brake_mitigation_time: Option<f64>,
+    /// Mean time from fault start to the driver's lateral trigger, seconds.
+    pub driver_steer_mitigation_time: Option<f64>,
+    /// Fraction of runs in which AEB braked, percent.
+    pub aeb_trigger_rate: f64,
+    /// Fraction of runs in which the driver's brake channel triggered,
+    /// percent.
+    pub driver_brake_trigger_rate: f64,
+    /// Fraction of runs in which the driver's steer channel triggered,
+    /// percent.
+    pub driver_steer_trigger_rate: f64,
+    /// Fraction of runs in which ML recovery engaged, percent.
+    pub ml_trigger_rate: f64,
+}
+
+impl CellStats {
+    /// Aggregates a set of run records.
+    #[must_use]
+    pub fn from_records<'a, I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = &'a RunRecord>,
+    {
+        let records: Vec<&RunRecord> = records.into_iter().collect();
+        let n = records.len();
+        let pct = |count: usize| 100.0 * count as f64 / n.max(1) as f64;
+
+        let a1 = records
+            .iter()
+            .filter(|r| r.accident == Some(AccidentKind::ForwardCollision))
+            .count();
+        let a2 = records
+            .iter()
+            .filter(|r| r.accident == Some(AccidentKind::LaneViolation))
+            .count();
+        let prevented = records.iter().filter(|r| r.prevented()).count();
+        let hazard = records.iter().filter(|r| r.hazard()).count();
+
+        let mean_of = |values: Vec<f64>| {
+            if values.is_empty() {
+                None
+            } else {
+                Some(values.iter().sum::<f64>() / values.len() as f64)
+            }
+        };
+        let aeb_times: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.mitigation_time(r.aeb_trigger))
+            .collect();
+        let brake_times: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.mitigation_time(r.driver_brake_trigger))
+            .collect();
+        let steer_times: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.mitigation_time(r.driver_steer_trigger))
+            .collect();
+
+        Self {
+            runs: n,
+            a1_pct: pct(a1),
+            a2_pct: pct(a2),
+            prevented_pct: pct(prevented),
+            hazard_pct: pct(hazard),
+            aeb_mitigation_time: mean_of(aeb_times),
+            driver_brake_mitigation_time: mean_of(brake_times),
+            driver_steer_mitigation_time: mean_of(steer_times),
+            aeb_trigger_rate: pct(records.iter().filter(|r| r.aeb_trigger.is_some()).count()),
+            driver_brake_trigger_rate: pct(
+                records
+                    .iter()
+                    .filter(|r| r.driver_brake_trigger.is_some())
+                    .count(),
+            ),
+            driver_steer_trigger_rate: pct(
+                records
+                    .iter()
+                    .filter(|r| r.driver_steer_trigger.is_some())
+                    .count(),
+            ),
+            ml_trigger_rate: pct(records.iter().filter(|r| r.ml_activated).count()),
+        }
+    }
+}
+
+/// Collects fault-free training episodes for the ML baseline.
+///
+/// Runs the platform without interventions or faults across all scenarios
+/// and both positions, recording (true state, executed ADAS control) pairs
+/// at every control cycle, then windows them into a [`Dataset`].
+#[must_use]
+pub fn collect_training_data(campaign_seed: u64, repetitions: u32, stride: usize) -> Dataset {
+    let config = PlatformConfig::default();
+    let mut dataset = Dataset::new();
+    for scenario in ScenarioId::ALL {
+        for position in InitialPosition::ALL {
+            for rep in 0..repetitions {
+                let mut rng = DeterministicRng::for_run(
+                    campaign_seed ^ 0x7EA1,
+                    scenario.index() as u64,
+                    position.index() as u64,
+                    u64::from(rep),
+                );
+                let setup = ScenarioSetup::build(scenario, position, &mut rng);
+                let mut platform =
+                    Platform::new(&setup, config, FaultInjector::disabled(), None, &mut rng);
+
+                let mut states = Vec::new();
+                let mut outputs = Vec::new();
+                let mut prev = ControlTarget::default();
+                loop {
+                    // Record the pre-step true state.
+                    let w = platform.world();
+                    let truth = w.lead_observation();
+                    let ego = *w.ego().state();
+                    let half = w.road().lane_width() / 2.0;
+                    let curvature = w.road().curvature_at(ego.s);
+                    let state = StateFeatures {
+                        ego_speed: ego.v,
+                        lead_distance: truth.map_or(f64::INFINITY, |o| o.distance),
+                        closing_speed: truth.map_or(0.0, |o| o.closing_speed),
+                        left_line: half - ego.d,
+                        right_line: half + ego.d,
+                        curvature,
+                        heading: ego.psi,
+                        prev_accel: prev.accel,
+                        prev_steer: prev.steer,
+                    };
+                    let frame = platform.step();
+                    // The executed command: reconstruct from the world's ego
+                    // actuators via the trace-free path (ADAS command ≈ the
+                    // realised accel for benign runs).
+                    let _ = frame;
+                    let ego_after = *platform.world().ego().state();
+                    let out = ControlTarget {
+                        accel: ego_after.accel,
+                        steer: ego_after.steer,
+                    };
+                    states.push(state);
+                    outputs.push(out);
+                    prev = out;
+                    if let crate::platform::RunEnd2::Yes(_) = platform.finished() {
+                        break;
+                    }
+                }
+                dataset.add_episode(&states, &outputs, stride);
+            }
+        }
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InterventionConfig;
+
+    #[test]
+    fn campaign_is_deterministic_and_ordered() {
+        let mut cfg = PlatformConfig::default();
+        cfg.max_steps = 300;
+        let a = run_campaign(None, &cfg, None, 9, 1);
+        let b = run_campaign(None, &cfg, None, 9, 1);
+        assert_eq!(a.len(), 12); // 6 scenarios × 2 positions × 1 rep
+        // NaN-tolerant equality (NaN != NaN under PartialEq).
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // Order: scenario-major.
+        assert_eq!(a[0].0.scenario, ScenarioId::S1);
+        assert_eq!(a[11].0.scenario, ScenarioId::S6);
+    }
+
+    #[test]
+    fn cell_stats_percentages_sum_to_100() {
+        let mut cfg = PlatformConfig::default();
+        cfg.max_steps = 2000;
+        let recs = run_campaign(Some(FaultType::RelativeDistance), &cfg, None, 3, 1);
+        let stats = CellStats::from_records(recs.iter().map(|(_, r)| r));
+        let total = stats.a1_pct + stats.a2_pct + stats.prevented_pct;
+        assert!((total - 100.0).abs() < 1e-9, "total {total}");
+        assert_eq!(stats.runs, 12);
+    }
+
+    #[test]
+    fn run_single_respects_interventions() {
+        let id = RunId {
+            scenario: ScenarioId::S1,
+            position: InitialPosition::Near,
+            repetition: 0,
+        };
+        let unprotected = run_single(
+            id,
+            Some(FaultType::RelativeDistance),
+            &PlatformConfig::default(),
+            None,
+            5,
+        );
+        let protected = run_single(
+            id,
+            Some(FaultType::RelativeDistance),
+            &PlatformConfig::with_interventions(InterventionConfig::aeb_independent_only()),
+            None,
+            5,
+        );
+        assert!(unprotected.accident.is_some());
+        assert!(protected.prevented());
+    }
+
+    #[test]
+    fn training_data_collection_produces_windows() {
+        let data = collect_training_data(3, 1, 40);
+        assert!(!data.is_empty(), "no training windows collected");
+    }
+}

@@ -1,0 +1,44 @@
+//! Closed-loop simulation platform and experiment campaign harness — the
+//! paper's primary contribution (Fig. 3): OpenPilot-like control software,
+//! a physical-world simulator, a driver reaction simulator, key ADAS safety
+//! mechanisms, and a fault-injection engine, wired into one deterministic
+//! 100 Hz loop with campaign-level sweeps and aggregation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adas_core::{Platform, PlatformConfig, InterventionConfig};
+//! use adas_attack::{FaultInjector, FaultSpec, FaultType};
+//! use adas_scenarios::{InitialPosition, ScenarioId, ScenarioSetup};
+//! use adas_simulator::DeterministicRng;
+//!
+//! // Build scenario S1 with a relative-distance attack and AEB on an
+//! // independent sensor.
+//! let mut rng = DeterministicRng::for_run(7, 0, 0, 0);
+//! let setup = ScenarioSetup::build(ScenarioId::S1, InitialPosition::Near, &mut rng);
+//! let injector = FaultInjector::new(FaultSpec::new(
+//!     FaultType::RelativeDistance,
+//!     setup.patch_start_s,
+//! ));
+//! let config = PlatformConfig::with_interventions(
+//!     InterventionConfig::aeb_independent_only(),
+//! );
+//! let mut platform = Platform::new(&setup, config, injector, None, &mut rng);
+//! let record = platform.run();
+//! assert!(record.prevented());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod platform;
+pub mod tables;
+
+pub use config::{InterventionConfig, PlatformConfig};
+pub use experiment::{
+    collect_training_data, run_campaign, run_single, CellStats, RunId,
+};
+pub use platform::{Platform, RunEnd, RunEnd2};
+pub use tables::{fmt_opt_time, fmt_pct, TextTable};

@@ -1,0 +1,456 @@
+//! The closed-loop simulation platform (paper Fig. 3).
+//!
+//! One `Platform` owns a world, the perception emulator, the OpenPilot-like
+//! controller, the fault injector, every safety intervention, and the
+//! metric/hazard monitors; [`Platform::step`] executes one 10 ms cycle of
+//! the loop:
+//!
+//! ```text
+//! world ──ground truth──► perception ──► fault injection ──► ADAS (ACC+ALC)
+//!   ▲                          │                                   │
+//!   │                    AEBS(comp./indep.)   safety check ◄───────┘
+//!   │                          │driver (true world + FCW/LDW)  ML (Alg. 1)
+//!   └────── actuators ◄── priority arbiter ◄──────────────────────┘
+//! ```
+
+use crate::config::PlatformConfig;
+use adas_attack::{FaultContext, FaultInjector};
+use adas_control::AdasController;
+use adas_ml::{ControlTarget, MlMitigator, StateFeatures};
+use adas_perception::{PerceptionEmulator, PerceptionFrame};
+use adas_safety::{
+    arbitrate, Aebs, AebsConfig, AebsMode, ArbiterInputs, CommandSource, DriverConfig,
+    DriverInputs, DriverModel, Ldw, LdwConfig, SafetyCheck, SafetyCheckConfig,
+};
+use adas_scenarios::{HazardMonitor, RunMetrics, RunRecord, ScenarioSetup};
+use adas_simulator::{
+    DeterministicRng, TraceRecorder, TraceSample, World, WorldConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunEnd {
+    /// Ran the full configured number of steps.
+    TimeLimit,
+    /// An accident latched.
+    Accident,
+    /// The ego came to a lasting stop (successful emergency stop).
+    Quiescent,
+}
+
+/// The assembled closed-loop platform for one run.
+#[derive(Debug)]
+pub struct Platform {
+    config: PlatformConfig,
+    world: World,
+    perception: PerceptionEmulator,
+    adas: AdasController,
+    injector: FaultInjector,
+    aebs: Aebs,
+    check: Option<SafetyCheck>,
+    driver: Option<DriverModel>,
+    ldw: Ldw,
+    ml: Option<MlMitigator>,
+    hazards: HazardMonitor,
+    metrics: RunMetrics,
+    trace: Option<TraceRecorder>,
+    last_executed: ControlTarget,
+    stationary_steps: usize,
+    steps_run: usize,
+}
+
+impl Platform {
+    /// Assembles a platform for one scenario run.
+    ///
+    /// `injector` carries the attack (use [`FaultInjector::disabled`] for
+    /// benign runs); `ml` is the trained mitigation runtime when the
+    /// configuration enables it; `rng` seeds the perception noise.
+    #[must_use]
+    pub fn new(
+        setup: &ScenarioSetup,
+        config: PlatformConfig,
+        injector: FaultInjector,
+        ml: Option<MlMitigator>,
+        rng: &mut DeterministicRng,
+    ) -> Self {
+        let mut adas_cfg = config.adas;
+        adas_cfg.acc.set_speed = setup.ego_speed;
+
+        let world_cfg = WorldConfig {
+            friction: config.friction,
+            ..WorldConfig::default()
+        };
+        let mut world = World::new(world_cfg, setup.road.clone());
+        world.spawn_ego(setup.ego_start_s, setup.ego_speed);
+        for npc in &setup.npcs {
+            world.add_npc(npc.clone());
+        }
+
+        let iv = config.interventions;
+        Self {
+            config,
+            world,
+            perception: PerceptionEmulator::new(config.perception, rng.split(0xFEED)),
+            adas: AdasController::new(adas_cfg),
+            injector,
+            aebs: Aebs::new(AebsConfig::default(), iv.aebs),
+            check: iv.safety_check.then(|| SafetyCheck::new(SafetyCheckConfig::default())),
+            driver: iv.driver.then(|| {
+                DriverModel::new(DriverConfig {
+                    reaction_time: iv.driver_reaction_time,
+                    speed_limit: setup.ego_speed,
+                    ..DriverConfig::default()
+                })
+            }),
+            ldw: Ldw::new(LdwConfig::default()),
+            ml: if iv.ml { ml } else { None },
+            hazards: HazardMonitor::new(config.hazards),
+            metrics: RunMetrics::new(),
+            trace: None,
+            last_executed: ControlTarget::default(),
+            stationary_steps: 0,
+            steps_run: 0,
+        }
+    }
+
+    /// Attaches a trace recorder (for the figure harnesses).
+    pub fn attach_trace(&mut self, recorder: TraceRecorder) {
+        self.trace = Some(recorder);
+    }
+
+    /// Takes the trace recorder back after a run.
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.trace.take()
+    }
+
+    /// The simulated world (read access for examples/tests).
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The hazard monitor.
+    #[must_use]
+    pub fn hazards(&self) -> &HazardMonitor {
+        &self.hazards
+    }
+
+    /// Executes one 10 ms control cycle. Returns the latest perception
+    /// frame (post fault injection) for inspection.
+    pub fn step(&mut self) -> PerceptionFrame {
+        let dt = adas_simulator::units::SIM_DT;
+        let time = self.world.time();
+
+        // 1. Perception (DNN outputs) + fault injection.
+        let truth = self.world.lead_observation();
+        let mut frame = self.perception.perceive(&self.world);
+        let fault_active = self.injector.apply(
+            &mut frame,
+            &FaultContext {
+                time,
+                ego_s: self.world.ego().state().s,
+                ego_d: self.world.ego().state().d,
+                true_rd: truth.map(|o| o.distance),
+            },
+        );
+
+        // 2. ADAS control (consumes possibly-poisoned outputs).
+        let raw_cmd = self.adas.control(&frame, dt);
+
+        // 3. Firmware safety check (ADAS/ML level only).
+        let checked_cmd = match self.check.as_mut() {
+            Some(check) => check.check(raw_cmd, dt).command,
+            None => raw_cmd,
+        };
+
+        // 4. AEBS: data source depends on the configuration.
+        let aeb_lead = match self.aebs.mode() {
+            AebsMode::Disabled => None,
+            AebsMode::Compromised => frame.lead.map(|l| (l.distance, l.closing_speed)),
+            AebsMode::Independent => truth.map(|o| (o.distance, o.closing_speed)),
+        };
+        let ego_v = self.world.ego().state().v;
+        let aeb_out = self.aebs.evaluate(aeb_lead, ego_v, time);
+
+        // 5. LDW from the (possibly poisoned) perception lane lines.
+        let perceived_edge = frame.lanes.nearest_line() - self.world.ego().params().width / 2.0;
+        let ldw_alert = self.ldw.evaluate(perceived_edge, time, dt);
+
+        // 6. Human driver watches the true world plus the alerts.
+        let ego_state = *self.world.ego().state();
+        let true_line_dist = self.world.ego_lane_line_distance();
+        let driver_action = match self.driver.as_mut() {
+            Some(driver) => driver.update(&DriverInputs {
+                time,
+                fcw_alert: aeb_out.fcw_alert,
+                ldw_alert,
+                ego_speed: ego_state.v,
+                adas_accel: checked_cmd.accel,
+                ego_accel: ego_state.accel,
+                true_lead: truth.map(|o| (o.distance, o.closing_speed)),
+                cut_in: self.world.cut_in_threat(),
+                lateral_offset: ego_state.d,
+                heading_error: ego_state.psi,
+                // The paper's lateral trigger uses the *predicted* distance
+                // to the lane lines — which a road-patch attack poisons.
+                lane_line_distance: perceived_edge,
+            }),
+            None => adas_safety::DriverAction::default(),
+        };
+
+        // 7. ML mitigation (Algorithm 1) on fault-free redundant state.
+        let ml_cmd = match self.ml.as_mut() {
+            Some(ml) => {
+                let features = StateFeatures {
+                    ego_speed: ego_state.v,
+                    lead_distance: truth.map_or(f64::INFINITY, |o| o.distance),
+                    closing_speed: truth.map_or(0.0, |o| o.closing_speed),
+                    left_line: self.world.road().lane_width() / 2.0 - ego_state.d,
+                    right_line: self.world.road().lane_width() / 2.0 + ego_state.d,
+                    curvature: self.world.road().curvature_at(ego_state.s),
+                    heading: ego_state.psi,
+                    prev_accel: self.last_executed.accel,
+                    prev_steer: self.last_executed.steer,
+                };
+                let op_out = ControlTarget {
+                    accel: checked_cmd.accel,
+                    steer: checked_cmd.steer,
+                };
+                ml.update(&features, &op_out, time).map(|target| {
+                    adas_control::AdasCommand {
+                        accel: target.accel,
+                        steer: target.steer,
+                        lead_engaged: checked_cmd.lead_engaged,
+                    }
+                })
+            }
+            None => None,
+        };
+
+        // 8. Priority arbitration (AEB > driver > ML > ADAS).
+        let ego_params = *self.world.ego().params();
+        let arb = arbitrate(
+            &ArbiterInputs {
+                adas: checked_cmd,
+                ml: ml_cmd,
+                driver: driver_action,
+                aeb_brake: aeb_out.brake,
+            },
+            &ego_params,
+        );
+
+        // 9. Actuate and advance the physical world.
+        self.world.step(arb.command);
+        self.steps_run += 1;
+        self.last_executed = ControlTarget {
+            accel: arb.command.gas * ego_params.engine_accel_limit
+                - arb.command.brake * ego_params.full_brake_decel,
+            steer: arb.command.steer,
+        };
+
+        // 10. Monitors.
+        let _ = self.hazards.update(&self.world);
+        let t_fcw_now = self.aebs.t_fcw(self.world.ego().state().v);
+        self.metrics.step(
+            truth.map(|o| o.distance),
+            truth.map(|o| o.closing_speed),
+            t_fcw_now,
+            arb.command.brake,
+            true_line_dist,
+        );
+
+        if let Some(trace) = self.trace.as_mut() {
+            let st = self.world.ego().state();
+            trace.record(TraceSample {
+                time,
+                ego_s: st.s,
+                ego_d: st.d,
+                ego_v: st.v,
+                ego_accel: st.accel,
+                gas: arb.command.gas,
+                brake: arb.command.brake,
+                steer: arb.command.steer,
+                true_rd: truth.map_or(f64::INFINITY, |o| o.distance),
+                perceived_rd: frame.lead.map_or(f64::INFINITY, |l| l.distance),
+                lead_v: truth.map_or(0.0, |o| o.lead_speed),
+                lane_line_distance: true_line_dist,
+                ttc: truth.map_or(f64::INFINITY, |o| o.ttc()),
+                fcw_alert: aeb_out.fcw_alert,
+                aeb_active: arb.longitudinal == CommandSource::Aeb,
+                driver_braking: driver_action.brake.is_some(),
+                driver_steering: driver_action.steer.is_some(),
+                ml_active: ml_cmd.is_some(),
+                fault_active,
+            });
+        }
+
+        if self.world.ego().state().v < 0.05 {
+            self.stationary_steps += 1;
+        } else {
+            self.stationary_steps = 0;
+        }
+
+        frame
+    }
+
+    /// True when the run should end now.
+    #[must_use]
+    pub fn finished(&self) -> RunEnd2 {
+        if self.hazards.accident().is_some() {
+            return RunEnd2::Yes(RunEnd::Accident);
+        }
+        if self.steps_run >= self.config.max_steps {
+            return RunEnd2::Yes(RunEnd::TimeLimit);
+        }
+        if self.config.quiescence_steps > 0 && self.stationary_steps >= self.config.quiescence_steps
+        {
+            return RunEnd2::Yes(RunEnd::Quiescent);
+        }
+        RunEnd2::No
+    }
+
+    /// Runs to completion and returns the record.
+    pub fn run(&mut self) -> RunRecord {
+        loop {
+            let _ = self.step();
+            if let RunEnd2::Yes(_) = self.finished() {
+                break;
+            }
+        }
+        self.record()
+    }
+
+    /// Builds the [`RunRecord`] from the current monitors (callable after a
+    /// manual stepping loop too).
+    #[must_use]
+    pub fn record(&self) -> RunRecord {
+        let mut rec = self.metrics.finish();
+        rec.h1_time = self.hazards.first_h1();
+        rec.h2_time = self.hazards.first_h2();
+        if let Some((t, kind)) = self.hazards.accident() {
+            rec.accident = Some(kind);
+            rec.accident_time = Some(t);
+        }
+        rec.fault_start = self.injector.first_activation_time();
+        rec.aeb_trigger = self.aebs.first_brake_time();
+        if let Some(driver) = &self.driver {
+            rec.driver_brake_trigger = driver.first_brake_trigger().map(|(t, _)| t);
+            rec.driver_steer_trigger = driver.first_steer_trigger();
+        }
+        rec.ml_activated = self
+            .ml
+            .as_ref()
+            .is_some_and(|m| m.first_activation_time().is_some());
+        rec
+    }
+}
+
+/// Tri-state "is the run finished" answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEnd2 {
+    /// Keep stepping.
+    No,
+    /// Finished for the given reason.
+    Yes(RunEnd),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_attack::{FaultSpec, FaultType};
+    use adas_scenarios::{InitialPosition, ScenarioId};
+
+    fn setup(id: ScenarioId) -> ScenarioSetup {
+        let mut rng = DeterministicRng::for_run(42, id.index() as u64, 0, 0);
+        ScenarioSetup::build(id, InitialPosition::Near, &mut rng)
+    }
+
+    fn run(
+        id: ScenarioId,
+        config: PlatformConfig,
+        fault: Option<FaultType>,
+    ) -> RunRecord {
+        let s = setup(id);
+        let injector = match fault {
+            Some(ft) => FaultInjector::new(FaultSpec::new(ft, s.patch_start_s)),
+            None => FaultInjector::disabled(),
+        };
+        let mut rng = DeterministicRng::for_run(42, id.index() as u64, 0, 1);
+        let mut p = Platform::new(&s, config, injector, None, &mut rng);
+        p.run()
+    }
+
+    #[test]
+    fn benign_s1_no_accident() {
+        let rec = run(ScenarioId::S1, PlatformConfig::default(), None);
+        assert!(rec.prevented(), "benign S1 must not crash: {rec:?}");
+        assert!(rec.min_ttc > 1.5, "min_ttc {}", rec.min_ttc);
+        assert!(rec.avg_following_distance > 15.0 && rec.avg_following_distance < 45.0,
+            "following {}", rec.avg_following_distance);
+    }
+
+    #[test]
+    fn rd_attack_without_interventions_crashes() {
+        let rec = run(
+            ScenarioId::S1,
+            PlatformConfig::default(),
+            Some(FaultType::RelativeDistance),
+        );
+        assert!(rec.accident.is_some(), "RD attack must cause accident");
+        assert!(rec.fault_start.is_some());
+    }
+
+    #[test]
+    fn curvature_attack_without_interventions_departs_lane() {
+        let rec = run(
+            ScenarioId::S1,
+            PlatformConfig::default(),
+            Some(FaultType::DesiredCurvature),
+        );
+        assert_eq!(
+            rec.accident,
+            Some(adas_scenarios::AccidentKind::LaneViolation),
+            "{rec:?}"
+        );
+    }
+
+    #[test]
+    fn aeb_independent_prevents_rd_attack() {
+        let cfg = PlatformConfig::with_interventions(
+            crate::config::InterventionConfig::aeb_independent_only(),
+        );
+        let rec = run(ScenarioId::S1, cfg, Some(FaultType::RelativeDistance));
+        assert!(rec.prevented(), "AEB-indep must prevent: {rec:?}");
+        assert!(rec.aeb_trigger.is_some());
+    }
+
+    #[test]
+    fn trace_recording_works() {
+        let s = setup(ScenarioId::S1);
+        let mut rng = DeterministicRng::for_run(42, 0, 0, 5);
+        let mut p = Platform::new(
+            &s,
+            PlatformConfig::default(),
+            FaultInjector::disabled(),
+            None,
+            &mut rng,
+        );
+        p.attach_trace(TraceRecorder::new());
+        for _ in 0..100 {
+            let _ = p.step();
+        }
+        let trace = p.take_trace().expect("trace attached");
+        assert_eq!(trace.len(), 100);
+        assert!(trace.samples()[50].ego_v > 0.0);
+    }
+
+    #[test]
+    fn run_ends_by_time_limit_when_nothing_happens() {
+        let mut cfg = PlatformConfig::default();
+        cfg.max_steps = 200;
+        cfg.quiescence_steps = 0;
+        let rec = run(ScenarioId::S1, cfg, None);
+        assert_eq!(rec.steps, 200);
+    }
+}

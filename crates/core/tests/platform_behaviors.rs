@@ -1,0 +1,180 @@
+//! Platform-level behaviours: data-flow correctness between the subsystems
+//! that the unit tests cannot see in isolation.
+
+use adas_attack::{FaultInjector, FaultSpec, FaultType};
+use adas_core::{InterventionConfig, Platform, PlatformConfig, RunEnd2};
+use adas_scenarios::{InitialPosition, ScenarioId, ScenarioSetup};
+use adas_simulator::{DeterministicRng, TraceRecorder};
+
+fn build_scenario(
+    scenario: ScenarioId,
+    iv: InterventionConfig,
+    fault: Option<FaultType>,
+    rep: u64,
+) -> (Platform, adas_scenarios::ScenarioSetup) {
+    let mut rng = DeterministicRng::for_run(31, scenario.index() as u64, 0, rep);
+    let setup = ScenarioSetup::build(scenario, InitialPosition::Near, &mut rng);
+    let injector = match fault {
+        Some(ft) => FaultInjector::new(FaultSpec::new(ft, setup.patch_start_s)),
+        None => FaultInjector::disabled(),
+    };
+    let platform = Platform::new(
+        &setup,
+        PlatformConfig::with_interventions(iv),
+        injector,
+        None,
+        &mut rng,
+    );
+    (platform, setup)
+}
+
+fn build(
+    iv: InterventionConfig,
+    fault: Option<FaultType>,
+    rep: u64,
+) -> (Platform, adas_scenarios::ScenarioSetup) {
+    build_scenario(ScenarioId::S1, iv, fault, rep)
+}
+
+#[test]
+fn safety_check_clamps_executed_braking() {
+    // With the PANDA clamp active and no other interventions, the executed
+    // brake fraction from the ADAS never exceeds 3.5/9.8.
+    let (mut p, _) = build(
+        InterventionConfig {
+            safety_check: true,
+            ..InterventionConfig::none()
+        },
+        None,
+        0,
+    );
+    p.attach_trace(TraceRecorder::new());
+    loop {
+        let _ = p.step();
+        if let RunEnd2::Yes(_) = p.finished() {
+            break;
+        }
+    }
+    let trace = p.take_trace().unwrap();
+    let max_brake = trace.samples().iter().map(|s| s.brake).fold(0.0, f64::max);
+    assert!(
+        max_brake <= 3.5 / 9.8 + 1e-6,
+        "clamped ADAS brake exceeded: {max_brake}"
+    );
+}
+
+#[test]
+fn without_safety_check_braking_can_exceed_the_clamp() {
+    // S4 (sudden lead stop) forces the unclamped planner into hard braking.
+    let (mut p, _) = build_scenario(ScenarioId::S4, InterventionConfig::none(), None, 0);
+    p.attach_trace(TraceRecorder::new());
+    loop {
+        let _ = p.step();
+        if let RunEnd2::Yes(_) = p.finished() {
+            break;
+        }
+    }
+    let trace = p.take_trace().unwrap();
+    let max_brake = trace.samples().iter().map(|s| s.brake).fold(0.0, f64::max);
+    assert!(max_brake > 3.5 / 9.8, "expected hard braking: {max_brake}");
+}
+
+#[test]
+fn fcw_alerts_precede_aeb_braking() {
+    let (mut p, _) = build(
+        InterventionConfig::aeb_independent_only(),
+        Some(FaultType::RelativeDistance),
+        0,
+    );
+    p.attach_trace(TraceRecorder::new());
+    loop {
+        let _ = p.step();
+        if let RunEnd2::Yes(_) = p.finished() {
+            break;
+        }
+    }
+    let trace = p.take_trace().unwrap();
+    let first_fcw = trace.samples().iter().find(|s| s.fcw_alert).map(|s| s.time);
+    let first_aeb = trace.samples().iter().find(|s| s.aeb_active).map(|s| s.time);
+    let (fcw, aeb) = (first_fcw.expect("FCW fired"), first_aeb.expect("AEB fired"));
+    assert!(fcw <= aeb, "FCW at {fcw} must precede AEB at {aeb}");
+}
+
+#[test]
+fn aeb_brake_overrides_driver_in_trace() {
+    // When both the driver and AEB want to brake, the trace's aeb flag and
+    // full-strength brake confirm the arbitration order end-to-end.
+    let (mut p, _) = build(
+        InterventionConfig::driver_check_aeb_independent(),
+        Some(FaultType::RelativeDistance),
+        0,
+    );
+    p.attach_trace(TraceRecorder::new());
+    loop {
+        let _ = p.step();
+        if let RunEnd2::Yes(_) = p.finished() {
+            break;
+        }
+    }
+    let trace = p.take_trace().unwrap();
+    let overlap: Vec<_> = trace
+        .samples()
+        .iter()
+        .filter(|s| s.aeb_active && s.driver_braking)
+        .collect();
+    assert!(!overlap.is_empty(), "expected an AEB/driver overlap phase");
+    for s in overlap {
+        assert!(s.brake >= 0.9 - 1e-9, "AEB level must win: {}", s.brake);
+    }
+}
+
+#[test]
+fn fault_activity_is_recorded_in_the_trace() {
+    let (mut p, setup) = build(InterventionConfig::none(), Some(FaultType::DesiredCurvature), 0);
+    p.attach_trace(TraceRecorder::new());
+    loop {
+        let _ = p.step();
+        if let RunEnd2::Yes(_) = p.finished() {
+            break;
+        }
+    }
+    let trace = p.take_trace().unwrap();
+    let first_fault = trace
+        .samples()
+        .iter()
+        .find(|s| s.fault_active)
+        .expect("fault fired");
+    // The fault fires once the ego reaches the patch.
+    assert!(
+        first_fault.ego_s >= setup.patch_start_s - 1.0,
+        "fault at s={} before patch at {}",
+        first_fault.ego_s,
+        setup.patch_start_s
+    );
+}
+
+#[test]
+fn quiescence_ends_runs_after_a_full_stop() {
+    // S4: the lead stops for good; with AEB the ego stops behind it and
+    // stays there, so the quiescence cutoff must end the run early.
+    let (mut p, _) = build_scenario(
+        ScenarioId::S4,
+        InterventionConfig::aeb_independent_only(),
+        None,
+        0,
+    );
+    let mut steps = 0usize;
+    let end = loop {
+        let _ = p.step();
+        steps += 1;
+        if let RunEnd2::Yes(end) = p.finished() {
+            break end;
+        }
+    };
+    assert!(
+        p.record().prevented(),
+        "S4 with AEB must not crash: {:?}",
+        p.record()
+    );
+    assert!(steps < 9_000, "run did not end early ({steps} steps, {end:?})");
+}

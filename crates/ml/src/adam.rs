@@ -1,0 +1,132 @@
+//! Adam optimiser over flat parameter/gradient slices.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    /// Gradient-norm clip applied before the update (0 disables).
+    pub grad_clip: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+/// Optimiser state for one parameter tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// State for a tensor of `len` parameters.
+    #[must_use]
+    pub fn new(len: usize, config: AdamConfig) -> Self {
+        Self {
+            config,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
+    }
+
+    /// Applies one update step: `params -= lr * m̂ / (sqrt(v̂) + eps)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths mismatch the optimiser state.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        let c = self.config;
+        self.t += 1;
+
+        let clip = if c.grad_clip > 0.0 {
+            let norm = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if norm > c.grad_clip {
+                c.grad_clip / norm
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+
+        let bc1 = 1.0 - c.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - c.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] * clip;
+            self.m[i] = c.beta1 * self.m[i] + (1.0 - c.beta1) * g;
+            self.v[i] = c.beta2 * self.v[i] + (1.0 - c.beta2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= c.lr * mhat / (vhat.sqrt() + c.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        // f(x) = (x - 3)², gradient 2(x - 3).
+        let mut adam = Adam::new(1, AdamConfig::default());
+        let mut x = [0.0_f64];
+        for _ in 0..2000 {
+            let g = [2.0 * (x[0] - 3.0)];
+            adam.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_step() {
+        let cfg = AdamConfig {
+            grad_clip: 1.0,
+            ..AdamConfig::default()
+        };
+        let mut adam = Adam::new(2, cfg);
+        let mut x = [0.0, 0.0];
+        adam.step(&mut x, &[1e9, 1e9]);
+        // With clipping the first step is bounded by ~lr.
+        assert!(x[0].abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_gradient_is_stationary() {
+        let mut adam = Adam::new(3, AdamConfig::default());
+        let mut x = [1.0, -2.0, 0.5];
+        adam.step(&mut x, &[0.0, 0.0, 0.0]);
+        assert_eq!(x, [1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut adam = Adam::new(2, AdamConfig::default());
+        let mut x = [0.0];
+        adam.step(&mut x, &[1.0]);
+    }
+}

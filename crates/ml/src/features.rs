@@ -1,0 +1,186 @@
+//! Feature and target encoding for the mitigation model.
+//!
+//! The paper's model input is "the ego vehicle's speed, relative distance to
+//! the leading vehicle, lane line positions, and historical gas and steering
+//! values from previous control cycles"; outputs are the expected gas and
+//! steering commands. We encode one control cycle as [`FEATURE_DIM`]
+//! normalised values and the model target as [`TARGET_DIM`] values
+//! (normalised acceleration and steering).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of input features per control cycle.
+pub const FEATURE_DIM: usize = 9;
+/// Number of regression targets.
+pub const TARGET_DIM: usize = 2;
+/// History window length in control cycles (0.2 s at 100 Hz).
+pub const WINDOW: usize = 20;
+
+/// Normalisation constants.
+const V_SCALE: f64 = 30.0;
+const RD_SCALE: f64 = 100.0;
+const RS_SCALE: f64 = 15.0;
+const LINE_SCALE: f64 = 2.0;
+const KAPPA_SCALE: f64 = 0.05;
+const ACCEL_SCALE: f64 = 5.0;
+const STEER_SCALE: f64 = 0.1;
+const GATE_STEER_SCALE: f64 = 0.5;
+
+/// Raw (physical-unit) state of one control cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StateFeatures {
+    /// Ego speed, m/s.
+    pub ego_speed: f64,
+    /// Relative distance to the lead, metres (`f64::INFINITY` when none).
+    pub lead_distance: f64,
+    /// Closing speed, m/s (0 when no lead).
+    pub closing_speed: f64,
+    /// Distance to the left lane line, metres.
+    pub left_line: f64,
+    /// Distance to the right lane line, metres.
+    pub right_line: f64,
+    /// Road/path curvature, 1/m.
+    pub curvature: f64,
+    /// Heading error relative to the road tangent, radians (from the
+    /// redundant IMU/localisation source).
+    pub heading: f64,
+    /// Previous cycle's acceleration command, m/s².
+    pub prev_accel: f64,
+    /// Previous cycle's steering command, radians.
+    pub prev_steer: f64,
+}
+
+impl StateFeatures {
+    /// Encodes into the model's normalised feature vector.
+    #[must_use]
+    pub fn encode(&self) -> [f64; FEATURE_DIM] {
+        let rd = if self.lead_distance.is_finite() {
+            (self.lead_distance / RD_SCALE).min(1.5)
+        } else {
+            1.5
+        };
+        [
+            self.ego_speed / V_SCALE,
+            rd,
+            (self.closing_speed / RS_SCALE).clamp(-2.0, 2.0),
+            self.left_line / LINE_SCALE,
+            self.right_line / LINE_SCALE,
+            (self.curvature / KAPPA_SCALE).clamp(-2.0, 2.0),
+            (self.heading / 0.2).clamp(-2.0, 2.0),
+            (self.prev_accel / ACCEL_SCALE).clamp(-2.0, 2.0),
+            (self.prev_steer / STEER_SCALE).clamp(-2.0, 2.0),
+        ]
+    }
+}
+
+/// A control output in physical units, with target encoding/decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControlTarget {
+    /// Acceleration command, m/s².
+    pub accel: f64,
+    /// Steering command, radians.
+    pub steer: f64,
+}
+
+impl ControlTarget {
+    /// Encodes into the normalised target vector.
+    #[must_use]
+    pub fn encode(&self) -> [f64; TARGET_DIM] {
+        [
+            (self.accel / ACCEL_SCALE).clamp(-2.0, 2.0),
+            (self.steer / STEER_SCALE).clamp(-2.0, 2.0),
+        ]
+    }
+
+    /// Decodes a normalised model output back to physical units.
+    #[must_use]
+    pub fn decode(out: &[f64]) -> Self {
+        Self {
+            accel: out.first().copied().unwrap_or(0.0) * ACCEL_SCALE,
+            steer: out.get(1).copied().unwrap_or(0.0) * STEER_SCALE,
+        }
+    }
+
+    /// The normalised prediction discrepancy used by the CUSUM gate:
+    /// `|Δaccel|/5 + |Δsteer|/0.5`. The gate's steering normaliser is
+    /// deliberately coarser than the training-target scale: small steering
+    /// disagreements must not hold the system in recovery mode, or control
+    /// never returns to the ADAS and its (unpoisoned) lane centering.
+    #[must_use]
+    pub fn discrepancy(&self, other: &Self) -> f64 {
+        (self.accel - other.accel).abs() / ACCEL_SCALE
+            + (self.steer - other.steer).abs() / GATE_STEER_SCALE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_normalises_into_small_range() {
+        let f = StateFeatures {
+            ego_speed: 22.0,
+            lead_distance: 55.0,
+            closing_speed: 9.0,
+            left_line: 1.75,
+            right_line: 1.75,
+            curvature: 0.002,
+            heading: 0.01,
+            prev_accel: -2.0,
+            prev_steer: 0.01,
+        };
+        let e = f.encode();
+        assert_eq!(e.len(), FEATURE_DIM);
+        assert!(e.iter().all(|v| v.abs() <= 2.0));
+    }
+
+    #[test]
+    fn infinite_distance_saturates() {
+        let f = StateFeatures {
+            lead_distance: f64::INFINITY,
+            ..StateFeatures::default()
+        };
+        assert_eq!(f.encode()[1], 1.5);
+    }
+
+    #[test]
+    fn target_round_trip() {
+        let t = ControlTarget {
+            accel: -3.0,
+            steer: 0.1,
+        };
+        let d = ControlTarget::decode(&t.encode());
+        assert!((d.accel - t.accel).abs() < 1e-12);
+        assert!((d.steer - t.steer).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_handles_short_slices() {
+        let d = ControlTarget::decode(&[]);
+        assert_eq!(d.accel, 0.0);
+        assert_eq!(d.steer, 0.0);
+    }
+
+    #[test]
+    fn discrepancy_is_zero_for_identical() {
+        let t = ControlTarget {
+            accel: 1.0,
+            steer: -0.2,
+        };
+        assert_eq!(t.discrepancy(&t), 0.0);
+    }
+
+    #[test]
+    fn discrepancy_combines_both_axes() {
+        let a = ControlTarget {
+            accel: 0.0,
+            steer: 0.0,
+        };
+        let b = ControlTarget {
+            accel: 5.0,
+            steer: 0.5,
+        };
+        assert!((a.discrepancy(&b) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Minimal dense linear algebra: a fully-connected layer with gradients.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense affine map `y = W x + b` with accumulated gradients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Output dimension.
+    pub rows: usize,
+    /// Input dimension.
+    pub cols: usize,
+    /// Row-major weights, `rows × cols`.
+    pub w: Vec<f64>,
+    /// Bias, length `rows`.
+    pub b: Vec<f64>,
+    /// Weight gradient accumulator.
+    pub gw: Vec<f64>,
+    /// Bias gradient accumulator.
+    pub gb: Vec<f64>,
+}
+
+impl Linear {
+    /// Xavier-style random initialisation.
+    #[must_use]
+    pub fn new<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        assert!(rows > 0 && cols > 0);
+        let scale = (1.0 / cols as f64).sqrt();
+        let w = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Self {
+            rows,
+            cols,
+            w,
+            b: vec![0.0; rows],
+            gw: vec![0.0; rows * cols],
+            gb: vec![0.0; rows],
+        }
+    }
+
+    /// `y = W x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "input dimension mismatch");
+        let mut y = self.b.clone();
+        for (r, y_r) in y.iter_mut().enumerate() {
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (w_rc, x_c) in row.iter().zip(x) {
+                acc += w_rc * x_c;
+            }
+            *y_r += acc;
+        }
+        y
+    }
+
+    /// Accumulates gradients for one sample and returns `dL/dx`.
+    ///
+    /// `x` must be the input used in the corresponding forward pass and
+    /// `dy` the gradient of the loss with respect to the output.
+    #[must_use]
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(dy.len(), self.rows);
+        let mut dx = vec![0.0; self.cols];
+        for (r, dy_r) in dy.iter().enumerate() {
+            self.gb[r] += dy_r;
+            let row_w = &self.w[r * self.cols..(r + 1) * self.cols];
+            let row_g = &mut self.gw[r * self.cols..(r + 1) * self.cols];
+            for c in 0..self.cols {
+                row_g[c] += dy_r * x[c];
+                dx[c] += row_w[c] * dy_r;
+            }
+        }
+        dx
+    }
+
+    /// Clears the gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Total number of parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[must_use]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut l = Linear::new(2, 3, &mut rng());
+        l.w = vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5];
+        l.b = vec![0.1, -0.1];
+        let y = l.forward(&[2.0, 3.0, 4.0]);
+        assert!((y[0] - (2.0 - 4.0 + 0.1)).abs() < 1e-12);
+        assert!((y[1] - (1.0 + 1.5 + 2.0 - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let l = Linear::new(2, 3, &mut rng());
+        let _ = l.forward(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        // Finite-difference check of dL/dw and dL/dx for L = sum(y).
+        let mut l = Linear::new(3, 4, &mut rng());
+        let x: Vec<f64> = vec![0.3, -0.2, 0.8, 0.1];
+        let dy = vec![1.0; 3];
+        let dx = l.backward(&x, &dy);
+
+        let eps = 1e-6;
+        // dL/dx.
+        for c in 0..4 {
+            let mut xp = x.clone();
+            xp[c] += eps;
+            let mut xm = x.clone();
+            xm[c] -= eps;
+            let lp: f64 = l.forward(&xp).iter().sum();
+            let lm: f64 = l.forward(&xm).iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dx[c]).abs() < 1e-6, "dx[{c}]: {num} vs {}", dx[c]);
+        }
+        // dL/dw for a couple of entries.
+        for idx in [0, 5, 11] {
+            let orig = l.w[idx];
+            l.w[idx] = orig + eps;
+            let lp: f64 = l.forward(&x).iter().sum();
+            l.w[idx] = orig - eps;
+            let lm: f64 = l.forward(&x).iter().sum();
+            l.w[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - l.gw[idx]).abs() < 1e-6,
+                "gw[{idx}]: {num} vs {}",
+                l.gw[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        let _ = l.backward(&[1.0, 1.0], &[1.0, 1.0]);
+        assert!(l.gw.iter().any(|g| *g != 0.0));
+        l.zero_grad();
+        assert!(l.gw.iter().all(|g| *g == 0.0));
+        assert!(l.gb.iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(30.0) > 0.999_999);
+        assert!(sigmoid(-30.0) < 1e-6);
+        // Stability at extremes.
+        assert!(sigmoid(-1e6).is_finite());
+        assert!(sigmoid(1e6).is_finite());
+    }
+
+    #[test]
+    fn param_count() {
+        let l = Linear::new(4, 5, &mut rng());
+        assert_eq!(l.param_count(), 24);
+    }
+}

@@ -1,0 +1,285 @@
+//! A single LSTM layer with full backpropagation through time.
+//!
+//! Gate layout in the packed weight matrix is `[input, forget, cell,
+//! output]`, each block of size `hidden`. The layer processes one timestep
+//! at a time and keeps per-step caches so a sequence can be unrolled
+//! forwards and then differentiated backwards.
+
+use crate::linear::{sigmoid, Linear};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Cached activations for one timestep (needed by BPTT).
+#[derive(Debug, Clone, Default)]
+pub struct LstmCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+/// One LSTM layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    /// Input dimension.
+    pub input: usize,
+    /// Hidden state dimension.
+    pub hidden: usize,
+    /// Packed gate transform: `4·hidden × (input + hidden)` plus bias.
+    pub gates: Linear,
+}
+
+impl Lstm {
+    /// Creates a layer with random initialisation. Forget-gate biases start
+    /// at +1 (the standard trick for gradient flow).
+    #[must_use]
+    pub fn new<R: Rng>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        let mut gates = Linear::new(4 * hidden, input + hidden, rng);
+        for b in gates.b[hidden..2 * hidden].iter_mut() {
+            *b = 1.0;
+        }
+        Self {
+            input,
+            hidden,
+            gates,
+        }
+    }
+
+    /// Runs one timestep. Returns `(h, c)` and the cache for BPTT.
+    #[must_use]
+    pub fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, LstmCache) {
+        assert_eq!(x.len(), self.input);
+        assert_eq!(h_prev.len(), self.hidden);
+        assert_eq!(c_prev.len(), self.hidden);
+        let h = self.hidden;
+
+        let mut xin = Vec::with_capacity(self.input + h);
+        xin.extend_from_slice(x);
+        xin.extend_from_slice(h_prev);
+        let z = self.gates.forward(&xin);
+
+        let mut i = vec![0.0; h];
+        let mut f = vec![0.0; h];
+        let mut g = vec![0.0; h];
+        let mut o = vec![0.0; h];
+        let mut c = vec![0.0; h];
+        let mut tanh_c = vec![0.0; h];
+        let mut h_out = vec![0.0; h];
+        for k in 0..h {
+            i[k] = sigmoid(z[k]);
+            f[k] = sigmoid(z[h + k]);
+            g[k] = z[2 * h + k].tanh();
+            o[k] = sigmoid(z[3 * h + k]);
+            c[k] = f[k] * c_prev[k] + i[k] * g[k];
+            tanh_c[k] = c[k].tanh();
+            h_out[k] = o[k] * tanh_c[k];
+        }
+
+        let cache = LstmCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+        };
+        (h_out, c, cache)
+    }
+
+    /// Backpropagates one timestep.
+    ///
+    /// `dh`/`dc` are the gradients flowing into this step's `h`/`c` outputs;
+    /// returns `(dx, dh_prev, dc_prev)` and accumulates parameter gradients.
+    #[must_use]
+    pub fn step_backward(
+        &mut self,
+        cache: &LstmCache,
+        dh: &[f64],
+        dc_in: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let h = self.hidden;
+        let mut dz = vec![0.0; 4 * h];
+        let mut dc_prev = vec![0.0; h];
+
+        for k in 0..h {
+            // h = o · tanh(c)
+            let do_ = dh[k] * cache.tanh_c[k];
+            let dc = dc_in[k] + dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+            // c = f·c_prev + i·g
+            let di = dc * cache.g[k];
+            let df = dc * cache.c_prev[k];
+            let dg = dc * cache.i[k];
+            dc_prev[k] = dc * cache.f[k];
+            // Gate pre-activations.
+            dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+            dz[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+            dz[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+            dz[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+        }
+
+        let mut xin = Vec::with_capacity(self.input + h);
+        xin.extend_from_slice(&cache.x);
+        xin.extend_from_slice(&cache.h_prev);
+        let dxin = self.gates.backward(&xin, &dz);
+
+        let dx = dxin[..self.input].to_vec();
+        let dh_prev = dxin[self.input..].to_vec();
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// Clears gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.gates.zero_grad();
+    }
+
+    /// Total parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.gates.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let l = Lstm::new(3, 4, &mut rng());
+        let (h, c, _) = l.step(&[0.1, 0.2, 0.3], &vec![0.0; 4], &vec![0.0; 4]);
+        assert_eq!(h.len(), 4);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn outputs_bounded_by_design() {
+        // |h| = |o·tanh(c)| < 1 when |c| small; in general h ∈ (−1, 1).
+        let l = Lstm::new(2, 8, &mut rng());
+        let mut h = vec![0.0; 8];
+        let mut c = vec![0.0; 8];
+        for t in 0..50 {
+            let x = [(t as f64 * 0.37).sin() * 3.0, (t as f64 * 0.11).cos() * 3.0];
+            let (nh, nc, _) = l.step(&x, &h, &c);
+            h = nh;
+            c = nc;
+            assert!(h.iter().all(|v| v.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialised_positive() {
+        let l = Lstm::new(2, 3, &mut rng());
+        for k in 3..6 {
+            assert_eq!(l.gates.b[k], 1.0);
+        }
+    }
+
+    /// Finite-difference gradient check through a 3-step unroll.
+    #[test]
+    fn bptt_gradient_check() {
+        let mut l = Lstm::new(2, 3, &mut rng());
+        let xs = [vec![0.5, -0.3], vec![0.1, 0.9], vec![-0.7, 0.2]];
+
+        // Loss = sum of final h.
+        let loss = |l: &Lstm| -> f64 {
+            let mut h = vec![0.0; 3];
+            let mut c = vec![0.0; 3];
+            for x in &xs {
+                let (nh, nc, _) = l.step(x, &h, &c);
+                h = nh;
+                c = nc;
+            }
+            h.iter().sum()
+        };
+
+        // Analytic gradients.
+        let mut h = vec![0.0; 3];
+        let mut c = vec![0.0; 3];
+        let mut caches = Vec::new();
+        for x in &xs {
+            let (nh, nc, cache) = l.step(x, &h, &c);
+            caches.push(cache);
+            h = nh;
+            c = nc;
+        }
+        l.zero_grad();
+        let mut dh = vec![1.0; 3];
+        let mut dc = vec![0.0; 3];
+        for cache in caches.iter().rev() {
+            let (_dx, dhp, dcp) = l.step_backward(cache, &dh, &dc);
+            dh = dhp;
+            dc = dcp;
+        }
+
+        // Compare against finite differences for a sample of weights.
+        let eps = 1e-6;
+        for idx in [0usize, 7, 19, 33] {
+            let orig = l.gates.w[idx];
+            l.gates.w[idx] = orig + eps;
+            let lp = loss(&l);
+            l.gates.w[idx] = orig - eps;
+            let lm = loss(&l);
+            l.gates.w[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = l.gates.gw[idx];
+            assert!(
+                (num - ana).abs() < 1e-5,
+                "w[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        for idx in [0usize, 4, 11] {
+            let orig = l.gates.b[idx];
+            l.gates.b[idx] = orig + eps;
+            let lp = loss(&l);
+            l.gates.b[idx] = orig - eps;
+            let lm = loss(&l);
+            l.gates.b[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = l.gates.gb[idx];
+            assert!(
+                (num - ana).abs() < 1e-5,
+                "b[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut l = Lstm::new(2, 3, &mut rng());
+        let x = vec![0.4, -0.6];
+        let h0 = vec![0.1, -0.2, 0.3];
+        let c0 = vec![0.05, 0.0, -0.1];
+        let (_h, _c, cache) = l.step(&x, &h0, &c0);
+        let (dx, _dhp, _dcp) = l.step_backward(&cache, &[1.0, 1.0, 1.0], &[0.0; 3]);
+
+        let eps = 1e-6;
+        for k in 0..2 {
+            let mut xp = x.clone();
+            xp[k] += eps;
+            let mut xm = x.clone();
+            xm[k] -= eps;
+            let lp: f64 = l.step(&xp, &h0, &c0).0.iter().sum();
+            let lm: f64 = l.step(&xm, &h0, &c0).0.iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dx[k]).abs() < 1e-6, "dx[{k}]: {num} vs {}", dx[k]);
+        }
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let l = Lstm::new(8, 16, &mut rng());
+        assert_eq!(l.param_count(), 4 * 16 * (8 + 16) + 4 * 16);
+    }
+}

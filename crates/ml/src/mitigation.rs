@@ -1,0 +1,257 @@
+//! Runtime hazard mitigation (Algorithm 1).
+//!
+//! Watches the discrepancy between the LSTM's expected control outputs
+//! (computed from fault-free, redundant-sensor state) and the ADAS's actual
+//! outputs. A CUSUM gate switches into recovery mode, during which the
+//! LSTM's outputs are executed, and back out once the discrepancy falls
+//! below the bias.
+
+use crate::cusum::Cusum;
+use crate::features::{ControlTarget, StateFeatures, WINDOW};
+use crate::model::{LstmPredictor, PredictorState};
+use serde::{Deserialize, Serialize};
+
+/// Mitigation gate parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationConfig {
+    /// CUSUM threshold τ.
+    pub tau: f64,
+    /// CUSUM per-step bias b(t); also the recovery exit threshold on δ.
+    pub bias: f64,
+}
+
+impl Default for MitigationConfig {
+    fn default() -> Self {
+        Self {
+            tau: 4.0,
+            bias: 0.12,
+        }
+    }
+}
+
+/// The runtime mitigator.
+#[derive(Debug, Clone)]
+pub struct MlMitigator {
+    model: LstmPredictor,
+    config: MitigationConfig,
+    cusum: Cusum,
+    state: PredictorState,
+    warmup: usize,
+    recovery: bool,
+    first_activation: Option<f64>,
+    activations: u64,
+}
+
+impl MlMitigator {
+    /// Wraps a (trained) model in the Algorithm 1 runtime.
+    #[must_use]
+    pub fn new(model: LstmPredictor, config: MitigationConfig) -> Self {
+        let state = model.init_state();
+        Self {
+            model,
+            config,
+            cusum: Cusum::new(config.tau, config.bias),
+            state,
+            warmup: 0,
+            recovery: false,
+            first_activation: None,
+            activations: 0,
+        }
+    }
+
+    /// Whether recovery mode is currently active.
+    #[must_use]
+    pub fn in_recovery(&self) -> bool {
+        self.recovery
+    }
+
+    /// Time recovery mode first engaged, if ever.
+    #[must_use]
+    pub fn first_activation_time(&self) -> Option<f64> {
+        self.first_activation
+    }
+
+    /// How many times recovery mode has engaged.
+    #[must_use]
+    pub fn activation_count(&self) -> u64 {
+        self.activations
+    }
+
+    /// Runs one control cycle of Algorithm 1.
+    ///
+    /// * `state` — fault-free vehicle state (redundant sensor);
+    /// * `adas_output` — the control output the ADAS produced this cycle;
+    /// * `time` — simulation clock, seconds.
+    ///
+    /// Returns `Some(override)` while recovery mode is active.
+    pub fn update(
+        &mut self,
+        state: &StateFeatures,
+        adas_output: &ControlTarget,
+        time: f64,
+    ) -> Option<ControlTarget> {
+        let x = state.encode();
+        let y = self.model.step(&x, &mut self.state);
+        let prediction = ControlTarget::decode(&y);
+
+        // Warm-up: the paper's model consumes 20 continuous frames before
+        // its first prediction is meaningful.
+        if self.warmup < WINDOW {
+            self.warmup += 1;
+            return None;
+        }
+
+        let delta = prediction.discrepancy(adas_output);
+        if !self.recovery {
+            if self.cusum.update(delta) {
+                self.recovery = true;
+                self.activations += 1;
+                if self.first_activation.is_none() {
+                    self.first_activation = Some(time);
+                }
+            }
+        }
+
+        if self.recovery {
+            if delta < self.config.bias {
+                // Exit recovery and reset the statistic (Algorithm 1 line 16)
+                // — but still execute the ML output this cycle.
+                self.recovery = false;
+                self.cusum.reset();
+            }
+            Some(prediction)
+        } else {
+            None
+        }
+    }
+
+    /// Resets the runtime (new run) while keeping the trained weights.
+    pub fn reset(&mut self) {
+        self.state = self.model.init_state();
+        self.cusum = Cusum::new(self.config.tau, self.config.bias);
+        self.warmup = 0;
+        self.recovery = false;
+        self.first_activation = None;
+        self.activations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+
+    fn small_model() -> LstmPredictor {
+        LstmPredictor::new(ModelSpec {
+            hidden1: 8,
+            hidden2: 4,
+            seed: 2,
+        })
+    }
+
+    fn neutral_state() -> StateFeatures {
+        StateFeatures {
+            ego_speed: 20.0,
+            lead_distance: 40.0,
+            closing_speed: 0.0,
+            left_line: 1.75,
+            right_line: 1.75,
+            curvature: 0.0,
+            heading: 0.0,
+            prev_accel: 0.0,
+            prev_steer: 0.0,
+        }
+    }
+
+    #[test]
+    fn silent_during_warmup() {
+        let mut mit = MlMitigator::new(small_model(), MitigationConfig::default());
+        let crazy = ControlTarget {
+            accel: 50.0,
+            steer: 3.0,
+        };
+        for t in 0..WINDOW {
+            assert!(mit
+                .update(&neutral_state(), &crazy, t as f64 * 0.01)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn small_discrepancy_never_triggers() {
+        let mut mit = MlMitigator::new(small_model(), MitigationConfig::default());
+        // Feed the model's own prediction back as the "ADAS output": δ = 0.
+        let mut shadow = MlMitigator::new(small_model(), MitigationConfig::default());
+        for t in 0..500 {
+            let x = neutral_state();
+            // Compute what the model would say using a twin.
+            let pred = {
+                let y = shadow.model.step(&x.encode(), &mut shadow.state);
+                ControlTarget::decode(&y)
+            };
+            let out = mit.update(&x, &pred, t as f64 * 0.01);
+            assert!(out.is_none(), "triggered at step {t}");
+        }
+        assert_eq!(mit.activation_count(), 0);
+    }
+
+    #[test]
+    fn large_discrepancy_triggers_recovery() {
+        let mut mit = MlMitigator::new(small_model(), MitigationConfig::default());
+        let wild = ControlTarget {
+            accel: 10.0,
+            steer: 1.0,
+        };
+        let mut engaged_at = None;
+        for t in 0..1000 {
+            if mit.update(&neutral_state(), &wild, t as f64 * 0.01).is_some() && engaged_at.is_none()
+            {
+                engaged_at = Some(t);
+            }
+        }
+        let at = engaged_at.expect("recovery must engage");
+        assert!(at > WINDOW, "not before warm-up");
+        assert!(mit.first_activation_time().is_some());
+        assert!(mit.activation_count() >= 1);
+    }
+
+    #[test]
+    fn recovery_exits_when_discrepancy_subsides() {
+        let mut mit = MlMitigator::new(small_model(), MitigationConfig::default());
+        let wild = ControlTarget {
+            accel: 10.0,
+            steer: 1.0,
+        };
+        for t in 0..500 {
+            let _ = mit.update(&neutral_state(), &wild, t as f64 * 0.01);
+        }
+        assert!(mit.in_recovery());
+        // ADAS output now agrees with the model's prediction: δ ≈ 0.
+        for t in 500..600 {
+            let x = neutral_state();
+            let pred = {
+                let mut probe = mit.clone();
+                let y = probe.model.step(&x.encode(), &mut probe.state);
+                ControlTarget::decode(&y)
+            };
+            let _ = mit.update(&x, &pred, t as f64 * 0.01);
+        }
+        assert!(!mit.in_recovery());
+    }
+
+    #[test]
+    fn reset_clears_runtime_state() {
+        let mut mit = MlMitigator::new(small_model(), MitigationConfig::default());
+        let wild = ControlTarget {
+            accel: 10.0,
+            steer: 1.0,
+        };
+        for t in 0..500 {
+            let _ = mit.update(&neutral_state(), &wild, t as f64 * 0.01);
+        }
+        mit.reset();
+        assert!(!mit.in_recovery());
+        assert!(mit.first_activation_time().is_none());
+        assert_eq!(mit.activation_count(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The two-layer LSTM regression model.
+
+use crate::features::{FEATURE_DIM, TARGET_DIM};
+use crate::linear::Linear;
+use crate::lstm::Lstm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Model architecture specification.
+///
+/// The paper explored 256-128, 256-64, 256-32, 128-64, 128-32 and 64-32
+/// hidden-unit configurations and selected 128-64; the shipped default is
+/// 64-32 to keep the campaign harness fast on CPUs, with the larger
+/// configurations available behind the same API (see the `ml_ablation`
+/// bench binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// First LSTM layer width.
+    pub hidden1: usize,
+    /// Second LSTM layer width.
+    pub hidden2: usize,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        Self {
+            hidden1: 64,
+            hidden2: 32,
+            seed: 0xAD45,
+        }
+    }
+}
+
+impl ModelSpec {
+    /// The paper's selected configuration (128-64 hidden units).
+    #[must_use]
+    pub fn paper_best() -> Self {
+        Self {
+            hidden1: 128,
+            hidden2: 64,
+            ..Self::default()
+        }
+    }
+}
+
+/// Recurrent state carried between control cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorState {
+    h1: Vec<f64>,
+    c1: Vec<f64>,
+    h2: Vec<f64>,
+    c2: Vec<f64>,
+}
+
+/// The two-layer LSTM + linear head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmPredictor {
+    pub(crate) l1: Lstm,
+    pub(crate) l2: Lstm,
+    pub(crate) head: Linear,
+    spec: ModelSpec,
+}
+
+impl LstmPredictor {
+    /// Creates a randomly initialised model.
+    #[must_use]
+    pub fn new(spec: ModelSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        Self {
+            l1: Lstm::new(FEATURE_DIM, spec.hidden1, &mut rng),
+            l2: Lstm::new(spec.hidden1, spec.hidden2, &mut rng),
+            head: Linear::new(TARGET_DIM, spec.hidden2, &mut rng),
+            spec,
+        }
+    }
+
+    /// The architecture.
+    #[must_use]
+    pub fn spec(&self) -> ModelSpec {
+        self.spec
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.l1.param_count() + self.l2.param_count() + self.head.param_count()
+    }
+
+    /// A fresh zeroed recurrent state.
+    #[must_use]
+    pub fn init_state(&self) -> PredictorState {
+        PredictorState {
+            h1: vec![0.0; self.spec.hidden1],
+            c1: vec![0.0; self.spec.hidden1],
+            h2: vec![0.0; self.spec.hidden2],
+            c2: vec![0.0; self.spec.hidden2],
+        }
+    }
+
+    /// Advances the recurrent state by one control cycle and returns the
+    /// normalised prediction.
+    pub fn step(&self, x: &[f64; FEATURE_DIM], state: &mut PredictorState) -> [f64; TARGET_DIM] {
+        let (h1, c1, _) = self.l1.step(x, &state.h1, &state.c1);
+        let (h2, c2, _) = self.l2.step(&h1, &state.h2, &state.c2);
+        state.h1 = h1;
+        state.c1 = c1;
+        state.h2 = h2.clone();
+        state.c2 = c2;
+        let y = self.head.forward(&h2);
+        [y[0], y[1]]
+    }
+
+    /// Runs a whole window from a zero state (training/eval convenience —
+    /// the paper's 20-frame input framing).
+    #[must_use]
+    pub fn predict_window(&self, window: &[[f64; FEATURE_DIM]]) -> [f64; TARGET_DIM] {
+        let mut st = self.init_state();
+        let mut out = [0.0; TARGET_DIM];
+        for x in window {
+            out = self.step(x, &mut st);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_initialisation() {
+        let a = LstmPredictor::new(ModelSpec::default());
+        let b = LstmPredictor::new(ModelSpec::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LstmPredictor::new(ModelSpec::default());
+        let b = LstmPredictor::new(ModelSpec {
+            seed: 99,
+            ..ModelSpec::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn step_and_window_agree() {
+        let m = LstmPredictor::new(ModelSpec::default());
+        let window: Vec<[f64; FEATURE_DIM]> = (0..20)
+            .map(|t| {
+                let mut x = [0.0; FEATURE_DIM];
+                x[0] = (t as f64) / 20.0;
+                x
+            })
+            .collect();
+        let via_window = m.predict_window(&window);
+        let mut st = m.init_state();
+        let mut via_steps = [0.0; TARGET_DIM];
+        for x in &window {
+            via_steps = m.step(x, &mut st);
+        }
+        assert_eq!(via_window, via_steps);
+    }
+
+    #[test]
+    fn paper_best_is_larger() {
+        let small = LstmPredictor::new(ModelSpec::default());
+        let big = LstmPredictor::new(ModelSpec::paper_best());
+        assert!(big.param_count() > small.param_count());
+    }
+
+    #[test]
+    fn outputs_finite() {
+        let m = LstmPredictor::new(ModelSpec::default());
+        let x = [1.0; FEATURE_DIM];
+        let mut st = m.init_state();
+        for _ in 0..100 {
+            let y = m.step(&x, &mut st);
+            assert!(y.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Offline training of the mitigation model on fault-free traces.
+
+use crate::adam::{Adam, AdamConfig};
+use crate::features::{ControlTarget, StateFeatures, FEATURE_DIM, TARGET_DIM, WINDOW};
+use crate::model::LstmPredictor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One training sample: a [`WINDOW`]-cycle feature window plus the expected
+/// control output at the final cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Encoded features, oldest first.
+    pub window: Vec<[f64; FEATURE_DIM]>,
+    /// Encoded target at the last cycle.
+    pub target: [f64; TARGET_DIM],
+}
+
+/// A collection of training samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// The samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Slides a [`WINDOW`]-length window over one fault-free episode,
+    /// emitting a sample every `stride` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or the slices' lengths differ.
+    pub fn add_episode(
+        &mut self,
+        states: &[StateFeatures],
+        outputs: &[ControlTarget],
+        stride: usize,
+    ) {
+        assert!(stride > 0, "stride must be positive");
+        assert_eq!(states.len(), outputs.len(), "episode length mismatch");
+        if states.len() < WINDOW {
+            return;
+        }
+        let mut start = 0;
+        while start + WINDOW <= states.len() {
+            let window: Vec<[f64; FEATURE_DIM]> = states[start..start + WINDOW]
+                .iter()
+                .map(StateFeatures::encode)
+                .collect();
+            self.samples.push(Sample {
+                window,
+                target: outputs[start + WINDOW - 1].encode(),
+            });
+            start += stride;
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// Minibatch size (gradients averaged per batch).
+    pub batch: usize,
+    /// Optimiser settings.
+    pub adam: AdamConfig,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Probability of zeroing the control-history features (previous
+    /// gas/steering) of a training sample. Without it the model learns the
+    /// autoregressive shortcut "predict the previous command", which makes
+    /// its predictions track a *compromised* controller instead of the true
+    /// vehicle state — useless as an anomaly reference for Algorithm 1.
+    pub history_dropout: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 4,
+            batch: 16,
+            adam: AdamConfig::default(),
+            seed: 7,
+            history_dropout: 0.6,
+        }
+    }
+}
+
+/// Loss trajectory of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean squared error per epoch.
+    pub epoch_loss: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Final epoch's loss.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_loss.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// Full BPTT over one sample; returns the squared-error loss and
+/// accumulates gradients in the model.
+fn backprop_sample(model: &mut LstmPredictor, sample: &Sample) -> f64 {
+    // Forward with caches.
+    let mut h1 = vec![0.0; model.l1.hidden];
+    let mut c1 = vec![0.0; model.l1.hidden];
+    let mut h2 = vec![0.0; model.l2.hidden];
+    let mut c2 = vec![0.0; model.l2.hidden];
+    let mut caches1 = Vec::with_capacity(sample.window.len());
+    let mut caches2 = Vec::with_capacity(sample.window.len());
+    for x in &sample.window {
+        let (nh1, nc1, cache1) = model.l1.step(x, &h1, &c1);
+        let (nh2, nc2, cache2) = model.l2.step(&nh1, &h2, &c2);
+        caches1.push(cache1);
+        caches2.push(cache2);
+        h1 = nh1;
+        c1 = nc1;
+        h2 = nh2;
+        c2 = nc2;
+    }
+    let y = model.head.forward(&h2);
+
+    // MSE loss and output gradient.
+    let mut loss = 0.0;
+    let mut dy = vec![0.0; TARGET_DIM];
+    for k in 0..TARGET_DIM {
+        let e = y[k] - sample.target[k];
+        loss += e * e;
+        dy[k] = 2.0 * e / TARGET_DIM as f64;
+    }
+    loss /= TARGET_DIM as f64;
+
+    // Backward: head → layer 2 chain → layer 1 chain.
+    let mut dh2 = model.head.backward(&h2, &dy);
+    let mut dc2 = vec![0.0; model.l2.hidden];
+    let mut dh1_next = vec![0.0; model.l1.hidden];
+    let mut dc1 = vec![0.0; model.l1.hidden];
+    for t in (0..sample.window.len()).rev() {
+        let (dx2, dh2_prev, dc2_prev) = model.l2.step_backward(&caches2[t], &dh2, &dc2);
+        // dx2 is the gradient w.r.t. h1(t); add any gradient flowing from
+        // layer 1's own recurrence.
+        let mut dh1 = dx2;
+        for (a, b) in dh1.iter_mut().zip(&dh1_next) {
+            *a += b;
+        }
+        let (_dx1, dh1_prev, dc1_prev) = model.l1.step_backward(&caches1[t], &dh1, &dc1);
+        dh2 = dh2_prev;
+        dc2 = dc2_prev;
+        dh1_next = dh1_prev;
+        dc1 = dc1_prev;
+    }
+    loss
+}
+
+/// Trains `model` in place; returns the loss trajectory.
+pub fn train(model: &mut LstmPredictor, data: &Dataset, config: &TrainConfig) -> TrainReport {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut opt_l1w = Adam::new(model.l1.gates.w.len(), config.adam);
+    let mut opt_l1b = Adam::new(model.l1.gates.b.len(), config.adam);
+    let mut opt_l2w = Adam::new(model.l2.gates.w.len(), config.adam);
+    let mut opt_l2b = Adam::new(model.l2.gates.b.len(), config.adam);
+    let mut opt_hw = Adam::new(model.head.w.len(), config.adam);
+    let mut opt_hb = Adam::new(model.head.b.len(), config.adam);
+
+    let mut epoch_loss = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0;
+        for chunk in order.chunks(config.batch.max(1)) {
+            model.l1.zero_grad();
+            model.l2.zero_grad();
+            model.head.zero_grad();
+            for &idx in chunk {
+                let sample = &data.samples[idx];
+                if config.history_dropout > 0.0
+                    && rng.gen_range(0.0..1.0) < config.history_dropout
+                {
+                    // Zero the previous-command features over the whole
+                    // window so the model must read the vehicle state.
+                    let mut masked = sample.clone();
+                    for frame in &mut masked.window {
+                        frame[FEATURE_DIM - 2] = 0.0;
+                        frame[FEATURE_DIM - 1] = 0.0;
+                    }
+                    total += backprop_sample(model, &masked);
+                } else {
+                    total += backprop_sample(model, sample);
+                }
+            }
+            let scale = 1.0 / chunk.len() as f64;
+            let scaled = |g: &[f64]| -> Vec<f64> { g.iter().map(|v| v * scale).collect() };
+            opt_l1w.step(&mut model.l1.gates.w, &scaled(&model.l1.gates.gw));
+            opt_l1b.step(&mut model.l1.gates.b, &scaled(&model.l1.gates.gb));
+            opt_l2w.step(&mut model.l2.gates.w, &scaled(&model.l2.gates.gw));
+            opt_l2b.step(&mut model.l2.gates.b, &scaled(&model.l2.gates.gb));
+            opt_hw.step(&mut model.head.w, &scaled(&model.head.gw));
+            opt_hb.step(&mut model.head.b, &scaled(&model.head.gb));
+        }
+        epoch_loss.push(total / data.len() as f64);
+    }
+    TrainReport { epoch_loss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+
+    /// A synthetic "driving" mapping: target accel depends on distance and
+    /// speed features; steer depends on curvature.
+    fn synthetic_dataset(n_episodes: usize) -> Dataset {
+        let mut data = Dataset::new();
+        for e in 0..n_episodes {
+            let mut states = Vec::new();
+            let mut outs = Vec::new();
+            for t in 0..120 {
+                let phase = (t as f64 + e as f64 * 17.0) * 0.05;
+                let rd = 40.0 + 30.0 * phase.sin();
+                let v = 20.0 + 2.0 * phase.cos();
+                let kappa = 0.002 * (phase * 0.5).sin();
+                let accel = 0.05 * (rd - 30.0) - 0.3 * (v - 20.0);
+                let steer = 2.7 * kappa;
+                states.push(StateFeatures {
+                    ego_speed: v,
+                    lead_distance: rd,
+                    closing_speed: (v - 13.0) * 0.3,
+                    left_line: 1.75,
+                    right_line: 1.75,
+                    curvature: kappa,
+                    heading: 0.0,
+                    prev_accel: accel,
+                    prev_steer: steer,
+                });
+                outs.push(ControlTarget { accel, steer });
+            }
+            data.add_episode(&states, &outs, 5);
+        }
+        data
+    }
+
+    #[test]
+    fn dataset_windows_count() {
+        let mut data = Dataset::new();
+        let states = vec![StateFeatures::default(); 60];
+        let outs = vec![ControlTarget::default(); 60];
+        data.add_episode(&states, &outs, 10);
+        // Windows starting at 0, 10, 20, 30, 40 (40+20 = 60).
+        assert_eq!(data.len(), 5);
+    }
+
+    #[test]
+    fn short_episodes_skipped() {
+        let mut data = Dataset::new();
+        data.add_episode(
+            &vec![StateFeatures::default(); 10],
+            &vec![ControlTarget::default(); 10],
+            1,
+        );
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "episode length mismatch")]
+    fn mismatched_episode_panics() {
+        let mut data = Dataset::new();
+        data.add_episode(
+            &vec![StateFeatures::default(); 30],
+            &vec![ControlTarget::default(); 29],
+            1,
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = synthetic_dataset(4);
+        let mut model = LstmPredictor::new(ModelSpec {
+            hidden1: 16,
+            hidden2: 8,
+            seed: 1,
+        });
+        let report = train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+        );
+        let first = report.epoch_loss[0];
+        let last = report.final_loss();
+        assert!(
+            last < first * 0.5,
+            "loss did not halve: {first} → {last} ({:?})",
+            report.epoch_loss
+        );
+    }
+
+    #[test]
+    fn trained_model_predicts_better_than_untrained() {
+        let data = synthetic_dataset(4);
+        let untrained = LstmPredictor::new(ModelSpec {
+            hidden1: 16,
+            hidden2: 8,
+            seed: 1,
+        });
+        let mut trained = untrained.clone();
+        let _ = train(&mut trained, &data, &TrainConfig::default());
+
+        let mse = |m: &LstmPredictor| -> f64 {
+            data.samples
+                .iter()
+                .map(|s| {
+                    let y = m.predict_window(&s.window);
+                    (y[0] - s.target[0]).powi(2) + (y[1] - s.target[1]).powi(2)
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        assert!(mse(&trained) < mse(&untrained));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let mut model = LstmPredictor::new(ModelSpec::default());
+        let _ = train(&mut model, &Dataset::new(), &TrainConfig::default());
+    }
+}

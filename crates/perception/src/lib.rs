@@ -1,0 +1,44 @@
+//! DNN-output-level perception emulator.
+//!
+//! OpenPilot's "supercombo" network predicts, from camera frames, the lead
+//! vehicle's relative distance/speed, the lane line positions, and the
+//! desired path curvature. The paper emulates adversarial patches by
+//! perturbing those *outputs* directly ("we directly emulate the effect of
+//! the patches by injecting attacks into the DNN output"), so this crate
+//! reproduces the perception module at the same interface: ground truth in,
+//! noisy DNN-style predictions out.
+//!
+//! Two documented OpenPilot failure modes are modelled because the paper's
+//! results depend on them:
+//!
+//! * **close-range blindness** — the lead vehicle is no longer recognised at
+//!   very short distances (Fig. 6: "once the ego vehicle gets within a
+//!   certain range, such as 2 meters, OpenPilot is unable to detect the lead
+//!   vehicle"), which makes the ego accelerate into the collision;
+//! * **limited detection range** — leads beyond ~120 m are not reported.
+//!
+//! # Example
+//!
+//! ```
+//! use adas_perception::{PerceptionConfig, PerceptionEmulator};
+//! use adas_simulator::{DeterministicRng, RoadBuilder, World, WorldConfig, units};
+//!
+//! let road = RoadBuilder::straight_highway(2_000.0).build();
+//! let mut world = World::new(WorldConfig::default(), road);
+//! world.spawn_ego(0.0, units::mph(50.0));
+//! let mut perception = PerceptionEmulator::new(
+//!     PerceptionConfig::default(),
+//!     DeterministicRng::from_seed(7),
+//! );
+//! let frame = perception.perceive(&world);
+//! assert!(frame.lead.is_none()); // no traffic spawned
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emulator;
+mod frame;
+
+pub use emulator::{PerceptionConfig, PerceptionEmulator};
+pub use frame::{LanePrediction, LeadPrediction, PerceptionFrame};

@@ -1,0 +1,125 @@
+//! Property tests of the priority arbiter: for *any* combination of inputs
+//! the paper's priority order and actuator sanity must hold.
+
+use adas_control::AdasCommand;
+use adas_safety::{arbitrate, ArbiterInputs, CommandSource, DriverAction};
+use adas_simulator::VehicleParams;
+use proptest::prelude::*;
+
+fn adas_cmd(accel: f64, steer: f64) -> AdasCommand {
+    AdasCommand {
+        accel,
+        steer,
+        lead_engaged: true,
+    }
+}
+
+proptest! {
+    #[test]
+    fn actuator_outputs_always_physical(
+        accel in -12.0f64..4.0,
+        steer in -0.6f64..0.6,
+        ml_on in prop::bool::ANY,
+        ml_accel in -12.0f64..4.0,
+        driver_brake in prop::option::of(0.0f64..1.0),
+        driver_steer in prop::option::of(-0.3f64..0.3),
+        aeb in prop::option::of(0.85f64..1.0),
+    ) {
+        let params = VehicleParams::sedan();
+        let inputs = ArbiterInputs {
+            adas: adas_cmd(accel, steer),
+            ml: ml_on.then(|| adas_cmd(ml_accel, steer * 0.5)),
+            driver: DriverAction {
+                brake: driver_brake,
+                steer: driver_steer,
+            },
+            aeb_brake: aeb,
+        };
+        let out = arbitrate(&inputs, &params);
+        let cmd = out.command.sanitized(&params);
+        prop_assert!((0.0..=1.0).contains(&cmd.gas));
+        prop_assert!((0.0..=1.0).contains(&cmd.brake));
+        prop_assert!(cmd.steer.abs() <= params.max_steer_angle + 1e-12);
+        // Never gas and emergency-brake simultaneously.
+        if out.command.brake > 0.5 {
+            prop_assert_eq!(out.command.gas, 0.0);
+        }
+    }
+
+    #[test]
+    fn aeb_always_wins_longitudinal(
+        accel in -12.0f64..4.0,
+        driver_brake in prop::option::of(0.0f64..1.0),
+        aeb_level in 0.85f64..1.0,
+    ) {
+        let params = VehicleParams::sedan();
+        let inputs = ArbiterInputs {
+            adas: adas_cmd(accel, 0.01),
+            ml: None,
+            driver: DriverAction {
+                brake: driver_brake,
+                steer: None,
+            },
+            aeb_brake: Some(aeb_level),
+        };
+        let out = arbitrate(&inputs, &params);
+        prop_assert_eq!(out.longitudinal, CommandSource::Aeb);
+        prop_assert!((out.command.brake - aeb_level).abs() < 1e-12);
+    }
+
+    #[test]
+    fn driver_steering_suppressed_exactly_when_aeb_active(
+        driver_steer in -0.3f64..0.3,
+        aeb in prop::option::of(0.85f64..1.0),
+    ) {
+        let params = VehicleParams::sedan();
+        let adas_steer = 0.015;
+        let inputs = ArbiterInputs {
+            adas: adas_cmd(0.5, adas_steer),
+            ml: None,
+            driver: DriverAction {
+                brake: None,
+                steer: Some(driver_steer),
+            },
+            aeb_brake: aeb,
+        };
+        let out = arbitrate(&inputs, &params);
+        if aeb.is_some() {
+            // The paper's conflict: automation owns the wheel during AEB.
+            prop_assert_eq!(out.lateral, CommandSource::Adas);
+            prop_assert!((out.command.steer - adas_steer).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(out.lateral, CommandSource::Driver);
+            prop_assert!((out.command.steer - driver_steer).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn priority_order_is_total(
+        ml_on in prop::bool::ANY,
+        driver_brakes in prop::bool::ANY,
+        aeb_on in prop::bool::ANY,
+    ) {
+        let params = VehicleParams::sedan();
+        let inputs = ArbiterInputs {
+            adas: adas_cmd(1.0, 0.0),
+            ml: ml_on.then(|| adas_cmd(-1.0, 0.0)),
+            driver: DriverAction {
+                brake: driver_brakes.then_some(0.55),
+                steer: None,
+            },
+            aeb_brake: aeb_on.then_some(0.9),
+        };
+        let out = arbitrate(&inputs, &params);
+        let expected = if aeb_on {
+            CommandSource::Aeb
+        } else if driver_brakes {
+            CommandSource::Driver
+        } else if ml_on {
+            CommandSource::Ml
+        } else {
+            CommandSource::Adas
+        };
+        prop_assert_eq!(out.longitudinal, expected);
+    }
+}

@@ -1,0 +1,31 @@
+//! Driving scenarios, hazard/accident definitions, and run metrics.
+//!
+//! The six scenarios come from NHTSA's pre-crash scenario typology (paper
+//! Section IV-A): the ego cruises at 50 mph and approaches the lead from an
+//! initial distance of 60 m (straight highway) or 230 m (curvy highway).
+//!
+//! * **S1** — lead cruises at a constant 30 mph.
+//! * **S2** — lead cruises at 30 mph, then accelerates to 40 mph.
+//! * **S3** — lead cruises at 40 mph, then decelerates to 30 mph.
+//! * **S4** — lead cruises at 30 mph, then suddenly brakes to a stop.
+//! * **S5** — lead cruises at 30 mph; another vehicle cuts in from the
+//!   neighbouring lane.
+//! * **S6** — two leads cruise in-lane; the closer one changes lanes away.
+//!
+//! Hazards and accidents (Section IV-C):
+//!
+//! * **A1** — forward collision with the lead vehicle.
+//! * **A2** — driving out of the lane or colliding with side vehicles.
+//! * **H1** — safety-distance violation (may develop into A1).
+//! * **H2** — ego within 0.1 m of a lane line (may develop into A2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hazards;
+pub mod metrics;
+pub mod scenario;
+
+pub use hazards::{AccidentKind, HazardConfig, HazardMonitor, HazardSnapshot};
+pub use metrics::{RunMetrics, RunRecord};
+pub use scenario::{InitialPosition, ScenarioId, ScenarioSetup};

@@ -1,0 +1,171 @@
+//! Road-surface friction model.
+//!
+//! The paper's weather experiment (Table VIII) varies MetaDrive's friction
+//! parameter to emulate rain and ice: "default", and 25 %, 50 % and 75 %
+//! reductions. Friction caps both longitudinal (accelerating/braking) and
+//! lateral (cornering) tyre force in the vehicle model.
+
+use serde::{Deserialize, Serialize};
+
+/// Friction conditions used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum FrictionCondition {
+    /// Dry highway (the default environment: bright dry morning).
+    #[default]
+    Default,
+    /// 25 % reduction — light rain.
+    Off25,
+    /// 50 % reduction — heavy rain.
+    Off50,
+    /// 75 % reduction — icy road.
+    Off75,
+    /// Arbitrary friction scale in `(0, 1]` of the dry coefficient.
+    Custom(f64),
+}
+
+impl FrictionCondition {
+    /// All the named conditions swept by Table VIII, in paper order.
+    pub const TABLE_VIII: [FrictionCondition; 4] = [
+        FrictionCondition::Default,
+        FrictionCondition::Off25,
+        FrictionCondition::Off50,
+        FrictionCondition::Off75,
+    ];
+
+    /// Fraction of the dry friction coefficient that remains.
+    #[must_use]
+    pub fn scale(self) -> f64 {
+        match self {
+            FrictionCondition::Default => 1.0,
+            FrictionCondition::Off25 => 0.75,
+            FrictionCondition::Off50 => 0.50,
+            FrictionCondition::Off75 => 0.25,
+            FrictionCondition::Custom(s) => s.clamp(0.01, 1.0),
+        }
+    }
+
+    /// Human-readable label matching the paper's table header.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FrictionCondition::Default => "Default",
+            FrictionCondition::Off25 => "25% off",
+            FrictionCondition::Off50 => "50% off",
+            FrictionCondition::Off75 => "75% off",
+            FrictionCondition::Custom(_) => "custom",
+        }
+    }
+}
+
+impl std::fmt::Display for FrictionCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrictionCondition::Custom(s) => write!(f, "custom({s:.2})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// Physical friction limits derived from a [`FrictionCondition`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceFriction {
+    /// Effective tyre-road friction coefficient.
+    pub mu: f64,
+}
+
+impl SurfaceFriction {
+    /// Dry-asphalt friction coefficient for a passenger car.
+    pub const DRY_MU: f64 = 0.9;
+
+    /// Builds the surface limits for a condition.
+    #[must_use]
+    pub fn new(condition: FrictionCondition) -> Self {
+        Self {
+            mu: Self::DRY_MU * condition.scale(),
+        }
+    }
+
+    /// Maximum achievable deceleration magnitude, m/s².
+    #[must_use]
+    pub fn max_brake_decel(&self) -> f64 {
+        self.mu * crate::units::GRAVITY
+    }
+
+    /// Maximum achievable drive acceleration, m/s² (engine-limited on dry
+    /// roads, traction-limited when slippery).
+    #[must_use]
+    pub fn max_drive_accel(&self, engine_limit: f64) -> f64 {
+        engine_limit.min(self.mu * crate::units::GRAVITY)
+    }
+
+    /// Maximum lateral acceleration available for cornering, m/s².
+    ///
+    /// A small utilisation margin keeps the combined-slip budget simple while
+    /// still producing understeer on icy curves.
+    #[must_use]
+    pub fn max_lateral_accel(&self) -> f64 {
+        0.95 * self.mu * crate::units::GRAVITY
+    }
+}
+
+impl Default for SurfaceFriction {
+    fn default() -> Self {
+        Self::new(FrictionCondition::Default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_match_paper_conditions() {
+        assert_eq!(FrictionCondition::Default.scale(), 1.0);
+        assert_eq!(FrictionCondition::Off25.scale(), 0.75);
+        assert_eq!(FrictionCondition::Off50.scale(), 0.5);
+        assert_eq!(FrictionCondition::Off75.scale(), 0.25);
+    }
+
+    #[test]
+    fn custom_scale_clamped() {
+        assert_eq!(FrictionCondition::Custom(2.0).scale(), 1.0);
+        assert!(FrictionCondition::Custom(-1.0).scale() > 0.0);
+    }
+
+    #[test]
+    fn dry_braking_close_to_reported_limits() {
+        let f = SurfaceFriction::default();
+        // ~0.9 g — enough for the AEBS full brake to be meaningful.
+        assert!(f.max_brake_decel() > 8.0 && f.max_brake_decel() < 9.5);
+    }
+
+    #[test]
+    fn ice_cuts_braking_to_a_quarter() {
+        let dry = SurfaceFriction::new(FrictionCondition::Default);
+        let ice = SurfaceFriction::new(FrictionCondition::Off75);
+        assert!((ice.max_brake_decel() / dry.max_brake_decel() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drive_accel_engine_limited_on_dry() {
+        let dry = SurfaceFriction::default();
+        assert_eq!(dry.max_drive_accel(3.0), 3.0);
+        let ice = SurfaceFriction::new(FrictionCondition::Custom(0.1));
+        assert!(ice.max_drive_accel(3.0) < 1.0);
+    }
+
+    #[test]
+    fn lateral_budget_below_mu_g() {
+        let f = SurfaceFriction::default();
+        assert!(f.max_lateral_accel() < f.mu * crate::units::GRAVITY);
+    }
+
+    #[test]
+    fn table_viii_order() {
+        let labels: Vec<_> = FrictionCondition::TABLE_VIII
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        assert_eq!(labels, ["Default", "25% off", "50% off", "75% off"]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Time-series trace recording for figures and debugging.
+//!
+//! The paper's Figs. 5 and 6 are time series (ego speed, distance to lane
+//! lines, actual vs. perceived relative distance). The recorder collects one
+//! [`TraceSample`] per step; the physical fields are filled by the world and
+//! the perception/intervention fields by the closed-loop platform.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// Ego arc length, metres.
+    pub ego_s: f64,
+    /// Ego lateral offset, metres.
+    pub ego_d: f64,
+    /// Ego speed, m/s.
+    pub ego_v: f64,
+    /// Ego realised acceleration, m/s².
+    pub ego_accel: f64,
+    /// Commanded gas fraction.
+    pub gas: f64,
+    /// Commanded brake fraction.
+    pub brake: f64,
+    /// Commanded steering angle, radians.
+    pub steer: f64,
+    /// Ground-truth bumper-to-bumper distance to the lead vehicle, metres
+    /// (`f64::INFINITY` when there is none).
+    pub true_rd: f64,
+    /// Perceived relative distance after any fault injection, metres
+    /// (`f64::INFINITY` when no lead is reported).
+    pub perceived_rd: f64,
+    /// Lead vehicle speed, m/s (0 when none).
+    pub lead_v: f64,
+    /// Distance from the ego's body edge to the nearest lane line, metres.
+    pub lane_line_distance: f64,
+    /// Ground-truth time to collision, seconds (`f64::INFINITY` if opening).
+    pub ttc: f64,
+    /// Whether an FCW alert was active this step.
+    pub fcw_alert: bool,
+    /// Whether AEB braking was active this step.
+    pub aeb_active: bool,
+    /// Whether the driver model was braking this step.
+    pub driver_braking: bool,
+    /// Whether the driver model was steering this step.
+    pub driver_steering: bool,
+    /// Whether ML recovery mode was active this step.
+    pub ml_active: bool,
+    /// Whether a fault was being injected this step.
+    pub fault_active: bool,
+}
+
+/// A growable recording of [`TraceSample`]s with CSV export.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecorder {
+    samples: Vec<TraceSample>,
+    /// Record every `stride`-th step (1 = every step).
+    stride: usize,
+    counter: usize,
+}
+
+impl TraceRecorder {
+    /// A recorder that keeps every step.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            stride: 1,
+            counter: 0,
+        }
+    }
+
+    /// A recorder that keeps one sample every `stride` steps (for long
+    /// campaigns where full traces would be wasteful).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    #[must_use]
+    pub fn with_stride(stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            samples: Vec::new(),
+            stride,
+            counter: 0,
+        }
+    }
+
+    /// Offers a sample; it is stored if the stride allows.
+    pub fn record(&mut self, sample: TraceSample) {
+        if self.counter % self.stride == 0 {
+            self.samples.push(sample);
+        }
+        self.counter += 1;
+    }
+
+    /// All stored samples in order.
+    #[must_use]
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Number of stored samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Serialises the trace as CSV (with header) into a string.
+    ///
+    /// Infinite relative distances are emitted as empty cells so plotting
+    /// tools skip them.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.samples.len() + 1));
+        out.push_str(
+            "time,ego_s,ego_d,ego_v,ego_accel,gas,brake,steer,true_rd,perceived_rd,lead_v,\
+             lane_line_distance,ttc,fcw,aeb,driver_brake,driver_steer,ml,fault\n",
+        );
+        for s in &self.samples {
+            let fmt_inf = |v: f64| {
+                if v.is_finite() {
+                    format!("{v:.4}")
+                } else {
+                    String::new()
+                }
+            };
+            out.push_str(&format!(
+                "{:.2},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.5},{},{},{:.4},{:.4},{},{},{},{},{},{},{}\n",
+                s.time,
+                s.ego_s,
+                s.ego_d,
+                s.ego_v,
+                s.ego_accel,
+                s.gas,
+                s.brake,
+                s.steer,
+                fmt_inf(s.true_rd),
+                fmt_inf(s.perceived_rd),
+                s.lead_v,
+                s.lane_line_distance,
+                fmt_inf(s.ttc),
+                u8::from(s.fcw_alert),
+                u8::from(s.aeb_active),
+                u8::from(s.driver_braking),
+                u8::from(s.driver_steering),
+                u8::from(s.ml_active),
+                u8::from(s.fault_active),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64) -> TraceSample {
+        TraceSample {
+            time: t,
+            ego_v: 20.0,
+            true_rd: 55.0,
+            perceived_rd: f64::INFINITY,
+            ttc: f64::INFINITY,
+            ..TraceSample::default()
+        }
+    }
+
+    #[test]
+    fn records_every_step_by_default() {
+        let mut rec = TraceRecorder::new();
+        for i in 0..10 {
+            rec.record(sample(i as f64 * 0.01));
+        }
+        assert_eq!(rec.len(), 10);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let mut rec = TraceRecorder::with_stride(4);
+        for i in 0..10 {
+            rec.record(sample(i as f64));
+        }
+        assert_eq!(rec.len(), 3); // steps 0, 4, 8
+        assert_eq!(rec.samples()[1].time, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = TraceRecorder::with_stride(0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut rec = TraceRecorder::new();
+        rec.record(sample(0.0));
+        rec.record(sample(0.01));
+        let csv = rec.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time,ego_s"));
+        // Infinite perceived_rd renders as an empty cell.
+        let cells: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(cells[9], "");
+        assert_eq!(cells[8], "55.0000");
+    }
+
+    #[test]
+    fn empty_recorder_reports_empty() {
+        let rec = TraceRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.to_csv().lines().count(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Physical constants and unit conversions used throughout the platform.
+//!
+//! The paper mixes unit systems (mph for cruise speeds, metres and m/s² for
+//! everything else); all internal state is SI and these helpers convert at
+//! the boundary.
+
+/// Standard gravity in m/s².
+pub const GRAVITY: f64 = 9.81;
+
+/// Simulation step, in seconds. The paper runs 10 000 steps of ~10 ms each
+/// (100 s per simulation) at OpenPilot's 100 Hz control frequency.
+pub const SIM_DT: f64 = 0.01;
+
+/// Number of steps in one full simulation run (100 s at 100 Hz).
+pub const STEPS_PER_RUN: usize = 10_000;
+
+/// Metres in one mile.
+pub const METERS_PER_MILE: f64 = 1_609.344;
+
+/// Converts miles per hour to metres per second.
+///
+/// ```
+/// let v = adas_simulator::units::mph(50.0);
+/// assert!((v - 22.352).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn mph(miles_per_hour: f64) -> f64 {
+    miles_per_hour * METERS_PER_MILE / 3_600.0
+}
+
+/// Converts metres per second to miles per hour.
+#[must_use]
+pub fn to_mph(meters_per_second: f64) -> f64 {
+    meters_per_second * 3_600.0 / METERS_PER_MILE
+}
+
+/// Converts kilometres per hour to metres per second.
+#[must_use]
+pub fn kph(kilometers_per_hour: f64) -> f64 {
+    kilometers_per_hour / 3.6
+}
+
+/// Converts degrees to radians.
+#[must_use]
+pub fn deg(degrees: f64) -> f64 {
+    degrees.to_radians()
+}
+
+/// Converts radians to degrees.
+#[must_use]
+pub fn to_deg(radians: f64) -> f64 {
+    radians.to_degrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mph_round_trips() {
+        for v in [0.0, 10.0, 30.0, 50.0, 75.5] {
+            assert!((to_mph(mph(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fifty_mph_is_paper_cruise_speed() {
+        // The paper's ego vehicle cruises at 50 mph ≈ 22.35 m/s.
+        assert!((mph(50.0) - 22.352).abs() < 1e-3);
+    }
+
+    #[test]
+    fn thirty_mph_is_lead_speed() {
+        assert!((mph(30.0) - 13.411).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kph_conversion() {
+        assert!((kph(36.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_round_trip() {
+        assert!((to_deg(deg(10.0)) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_length_is_100_seconds() {
+        assert!((STEPS_PER_RUN as f64 * SIM_DT - 100.0).abs() < 1e-9);
+    }
+}

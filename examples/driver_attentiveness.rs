@@ -1,0 +1,32 @@
+//! How much does driver attentiveness matter? Sweeps the driver reaction
+//! time (the paper's Table VII axis) over a small campaign and prints the
+//! prevention rate per fault type.
+//!
+//! ```bash
+//! cargo run --release --example driver_attentiveness
+//! ```
+
+use openadas::attack::FaultType;
+use openadas::core::{run_campaign, CellStats, InterventionConfig, PlatformConfig};
+
+fn main() {
+    let reps = 2; // small demo campaign: 6 scenarios × 2 positions × 2 reps
+    println!("driver-only prevention rate by reaction time ({} runs/cell)\n", 12 * reps);
+    println!("{:>10}  {:>18}  {:>18}  {:>10}", "reaction", "Relative Distance", "Desired Curvature", "Mixed");
+    for reaction in [1.0, 2.0, 2.5, 3.5] {
+        let mut iv = InterventionConfig::driver_only();
+        iv.driver_reaction_time = reaction;
+        let cfg = PlatformConfig::with_interventions(iv);
+        let mut cells = Vec::new();
+        for fault in FaultType::ALL {
+            let records = run_campaign(Some(fault), &cfg, None, 7, reps);
+            let stats = CellStats::from_records(records.iter().map(|(_, r)| r));
+            cells.push(stats.prevented_pct);
+        }
+        println!(
+            "{reaction:>9.1}s  {:>17.1}%  {:>17.1}%  {:>9.1}%",
+            cells[0], cells[1], cells[2]
+        );
+    }
+    println!("\nAn alert driver (≤2 s) prevents notably more accidents — the paper's Observation 5.");
+}

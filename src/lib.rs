@@ -1,0 +1,19 @@
+//! # openadas
+//!
+//! Façade crate re-exporting the full platform: a Rust reproduction of
+//! *"Safety Interventions against Adversarial Patches in an Open-Source
+//! Driver Assistance System"* (DSN 2025).
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! system inventory and per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use adas_attack as attack;
+pub use adas_control as control;
+pub use adas_core as core;
+pub use adas_ml as ml;
+pub use adas_perception as perception;
+pub use adas_safety as safety;
+pub use adas_scenarios as scenarios;
+pub use adas_simulator as simulator;
