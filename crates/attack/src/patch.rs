@@ -191,7 +191,7 @@ mod tests {
         fn offsets_monotone_nonincreasing_range(rd in 0.0f64..200.0) {
             // Offsets only grow as the gap shrinks.
             if let Some(o) = rd_offset_for(rd) {
-                prop_assert!(o >= 10.0 && o <= 38.0);
+                prop_assert!((10.0..=38.0).contains(&o));
                 if let Some(closer) = rd_offset_for((rd - 6.0).max(0.0)) {
                     prop_assert!(closer >= o);
                 }

@@ -8,14 +8,17 @@
 //! stage; the loss comparison always runs).
 
 use adas_attack::FaultType;
-use adas_bench::{reps_from_args, write_results_file, CAMPAIGN_SEED};
+use adas_bench::{model_fingerprint, reps_from_args, write_results_file, CAMPAIGN_SEED};
 use adas_core::{
-    collect_training_data, run_campaign, CellStats, InterventionConfig, PlatformConfig,
+    campaign_cell_fingerprint, cell_stats_cached, collect_training_data, run_campaign,
+    ArtifactCache, CellStats, InterventionConfig, PlatformConfig,
 };
 use adas_ml::{train, LstmPredictor, ModelSpec, TrainConfig};
+use std::sync::Arc;
 
 fn main() {
     let reps = reps_from_args().min(3);
+    let cache = ArtifactCache::from_env();
     eprintln!("[ablation] collecting fault-free training data…");
     let data = collect_training_data(CAMPAIGN_SEED, 1, 25);
     eprintln!("[ablation] {} windows", data.len());
@@ -44,16 +47,26 @@ fn main() {
             },
         );
         let loss = report.final_loss();
+        let model = Arc::new(model);
 
         let cfg = PlatformConfig::with_interventions(InterventionConfig::ml_only());
-        let records = run_campaign(
+        let key = campaign_cell_fingerprint(
             Some(FaultType::RelativeDistance),
             &cfg,
-            Some(&model),
+            Some(model_fingerprint(&model)),
             CAMPAIGN_SEED,
             reps,
         );
-        let stats = CellStats::from_records(records.iter().map(|(_, r)| r));
+        let stats = cell_stats_cached(&cache, key, || {
+            let records = run_campaign(
+                Some(FaultType::RelativeDistance),
+                &cfg,
+                Some(&model),
+                CAMPAIGN_SEED,
+                reps,
+            );
+            CellStats::from_records(records.iter().map(|(_, r)| r))
+        });
         println!(
             "{label:20} {:9} {loss:11.5} {:8.2}%",
             model.param_count(),

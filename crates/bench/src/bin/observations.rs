@@ -150,7 +150,7 @@ fn main() {
     // structural claim on AEB vs driver rows.)
     let obs6 = aeb_rd.prevented_pct > 50.0 && driver_curv.prevented_pct > 30.0;
     println!(
-        "[{}] Obs 6: basic mechanisms reach {:.0}% (AEB-indep, RD) / {:.0}% (driver,\n        curvature) — both far above the ML baseline's ≈8% (see table_vi / EXPERIMENTS.md)",
+        "[{}] Obs 6: basic mechanisms reach {:.0}% (AEB-indep, RD) / {:.0}% (driver,\n        curvature) — both above the ML baseline's 17–35% (see table_vi / EXPERIMENTS.md)",
         verdict(obs6),
         aeb_rd.prevented_pct,
         driver_curv.prevented_pct

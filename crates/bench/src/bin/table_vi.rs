@@ -8,16 +8,30 @@
 
 use adas_attack::FaultType;
 use adas_bench::{
-    paper, reps_from_args, trained_baseline, write_results_file, CAMPAIGN_SEED,
+    model_fingerprint, paper, reps_from_args, trained_baseline_cached, write_results_file,
+    PhaseTimer, CAMPAIGN_SEED,
 };
 use adas_core::{
-    fmt_opt_time, run_campaign, CellStats, InterventionConfig, PlatformConfig, TextTable,
+    campaign_cell_fingerprint, cell_stats_cached, fmt_opt_time, run_campaign, ArtifactCache,
+    CellStats, InterventionConfig, PlatformConfig, TextTable,
 };
 use adas_ml::ModelSpec;
+use std::sync::Arc;
 
 fn main() {
     let reps = reps_from_args();
-    let model = trained_baseline(CAMPAIGN_SEED, ModelSpec::default());
+    let cache = ArtifactCache::from_env();
+    let mut timer = PhaseTimer::new();
+
+    timer.phase("train");
+    let model = Arc::new(trained_baseline_cached(
+        &cache,
+        CAMPAIGN_SEED,
+        ModelSpec::default(),
+    ));
+    let model_fp = model_fingerprint(&model);
+
+    timer.phase("campaign");
 
     let mut csv = String::from(
         "fault,config,runs,a1_pct,a2_pct,prevented_pct,aeb_mt,driver_brake_mt,driver_steer_mt,\
@@ -43,9 +57,19 @@ fn main() {
         ]);
         for iv in InterventionConfig::table_vi_rows() {
             let cfg = PlatformConfig::with_interventions(iv);
-            let ml = iv.ml.then_some(&model);
-            let records = run_campaign(Some(fault), &cfg, ml, CAMPAIGN_SEED, reps);
-            let s = CellStats::from_records(records.iter().map(|(_, r)| r));
+            let key = campaign_cell_fingerprint(
+                Some(fault),
+                &cfg,
+                iv.ml.then_some(model_fp),
+                CAMPAIGN_SEED,
+                reps,
+            );
+            let s = cell_stats_cached(&cache, key, || {
+                let ml = iv.ml.then_some(&model);
+                let records = run_campaign(Some(fault), &cfg, ml, CAMPAIGN_SEED, reps);
+                timer.add_runs(records.len() as u64);
+                CellStats::from_records(records.iter().map(|(_, r)| r))
+            });
             let reference = paper::TABLE_VI
                 .iter()
                 .find(|(f, row, ..)| *f == fault.label() && *row == iv.label())
@@ -88,5 +112,7 @@ fn main() {
         println!("{}", table.render());
     }
 
+    timer.phase("emit");
     write_results_file("table_vi.csv", &csv);
+    timer.finish(&cache);
 }

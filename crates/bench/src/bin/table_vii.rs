@@ -4,10 +4,14 @@
 
 use adas_attack::FaultType;
 use adas_bench::{paper, reps_from_args, write_results_file, CAMPAIGN_SEED};
-use adas_core::{run_campaign, CellStats, InterventionConfig, PlatformConfig, TextTable};
+use adas_core::{
+    campaign_cell_fingerprint, cell_stats_cached, run_campaign, ArtifactCache, CellStats,
+    InterventionConfig, PlatformConfig, TextTable,
+};
 
 fn main() {
     let reps = reps_from_args();
+    let cache = ArtifactCache::from_env();
     let times = paper::TABLE_VII_TIMES;
 
     let mut header: Vec<String> = vec!["Fault Type".into()];
@@ -25,8 +29,11 @@ fn main() {
             let mut iv = InterventionConfig::driver_only();
             iv.driver_reaction_time = t;
             let cfg = PlatformConfig::with_interventions(iv);
-            let records = run_campaign(Some(fault), &cfg, None, CAMPAIGN_SEED, reps);
-            let s = CellStats::from_records(records.iter().map(|(_, r)| r));
+            let key = campaign_cell_fingerprint(Some(fault), &cfg, None, CAMPAIGN_SEED, reps);
+            let s = cell_stats_cached(&cache, key, || {
+                let records = run_campaign(Some(fault), &cfg, None, CAMPAIGN_SEED, reps);
+                CellStats::from_records(records.iter().map(|(_, r)| r))
+            });
             row.push(format!("{:.2}%", s.prevented_pct));
             csv.push_str(&format!(
                 "{},{t:.1},{:.2}\n",

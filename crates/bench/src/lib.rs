@@ -5,8 +5,11 @@
 //! campaign wiring, the trained ML baseline, and the paper's reference
 //! numbers so every harness prints a paper-vs-measured comparison.
 
-use adas_core::{collect_training_data, PlatformConfig};
+use adas_core::{
+    collect_training_data, fingerprint_dataset, ArtifactCache, Fingerprint, PlatformConfig,
+};
 use adas_ml::{train, LstmPredictor, ModelSpec, TrainConfig};
+use std::time::Instant;
 
 /// Default campaign seed used by every harness (override with the first CLI
 /// argument where supported).
@@ -25,31 +28,179 @@ pub fn reps_from_args() -> u32 {
         .unwrap_or(REPS)
 }
 
-/// Trains the ML mitigation baseline on fault-free traces and returns it.
-///
-/// Training is deterministic for a given seed; progress is printed because
-/// it takes on the order of a minute at the shipped 64-32 hidden sizes.
+/// The hyper-parameters every harness trains the baseline with (also part
+/// of the model's cache key).
 #[must_use]
-pub fn trained_baseline(seed: u64, spec: ModelSpec) -> LstmPredictor {
-    eprintln!("[ml] collecting fault-free training episodes…");
-    let data = collect_training_data(seed, 1, 25);
-    eprintln!("[ml] {} windows collected; training {:?}…", data.len(), spec);
-    let mut model = LstmPredictor::new(spec);
+pub fn baseline_train_config() -> TrainConfig {
     let mut tc = TrainConfig {
         epochs: 6,
         ..TrainConfig::default()
     };
     tc.adam.lr = 5e-3;
-    let report = train(&mut model, &data, &tc);
-    eprintln!(
-        "[ml] training losses per epoch: {:?}",
-        report
-            .epoch_loss
-            .iter()
-            .map(|l| (l * 1e4).round() / 1e4)
-            .collect::<Vec<_>>()
-    );
-    model
+    tc
+}
+
+/// Stable fingerprint of a model's exact weights (used to key campaign
+/// cells that depend on the trained model).
+#[must_use]
+pub fn model_fingerprint(model: &LstmPredictor) -> Fingerprint {
+    Fingerprint::new()
+        .write_str("lstm-weights")
+        .write_bytes(&model.to_bytes())
+}
+
+/// Trains the ML mitigation baseline on fault-free traces and returns it,
+/// using the process-wide artifact cache (`results/cache`, see
+/// `ADAS_CACHE`/`ADAS_CACHE_DIR`).
+///
+/// Training is deterministic for a given seed; progress is printed because
+/// it takes on the order of a minute at the shipped 64-32 hidden sizes.
+#[must_use]
+pub fn trained_baseline(seed: u64, spec: ModelSpec) -> LstmPredictor {
+    trained_baseline_cached(&ArtifactCache::from_env(), seed, spec)
+}
+
+/// [`trained_baseline`] against an explicit cache (tests point this at a
+/// temp directory; [`ArtifactCache::disabled`] forces a retrain).
+///
+/// The cache key covers the *content* of the training dataset plus every
+/// hyper-parameter and the architecture, so any change to data collection,
+/// training, or the model invalidates old entries automatically.
+#[must_use]
+pub fn trained_baseline_cached(
+    cache: &ArtifactCache,
+    seed: u64,
+    spec: ModelSpec,
+) -> LstmPredictor {
+    eprintln!("[ml] collecting fault-free training episodes…");
+    let data = collect_training_data(seed, 1, 25);
+    let tc = baseline_train_config();
+    let key = Fingerprint::new()
+        .write_str("lstm-baseline-v1")
+        .write_u64(seed)
+        .write_debug(&spec)
+        .write_debug(&tc)
+        .write_u64(fingerprint_dataset(&data).value());
+    cache.get_or_compute(
+        "model",
+        key,
+        |bytes| {
+            LstmPredictor::from_bytes(bytes)
+                .ok()
+                .filter(|m| m.spec() == spec)
+                .inspect(|_| {
+                    eprintln!("[ml] loaded trained weights from cache ({key})");
+                })
+        },
+        || {
+            eprintln!("[ml] {} windows collected; training {spec:?}…", data.len());
+            let mut model = LstmPredictor::new(spec);
+            let report = train(&mut model, &data, &tc);
+            eprintln!(
+                "[ml] training losses per epoch: {:?}",
+                report
+                    .epoch_loss
+                    .iter()
+                    .map(|l| (l * 1e4).round() / 1e4)
+                    .collect::<Vec<_>>()
+            );
+            model
+        },
+        LstmPredictor::to_bytes,
+    )
+}
+
+/// Wall-clock phase accounting for a harness run, emitted as
+/// `results/BENCH_campaign.json` (total and per-phase seconds, executed
+/// runs, runs/sec, worker threads, cache counters).
+#[derive(Debug)]
+pub struct PhaseTimer {
+    started: Instant,
+    phases: Vec<(String, f64)>,
+    current: Option<(String, Instant)>,
+    executed_runs: u64,
+}
+
+impl PhaseTimer {
+    /// Starts the clock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            phases: Vec::new(),
+            current: None,
+            executed_runs: 0,
+        }
+    }
+
+    fn close_current(&mut self) {
+        if let Some((name, since)) = self.current.take() {
+            self.phases.push((name, since.elapsed().as_secs_f64()));
+        }
+    }
+
+    /// Ends the running phase (if any) and starts a new one.
+    pub fn phase(&mut self, name: &str) {
+        self.close_current();
+        self.current = Some((name.to_owned(), Instant::now()));
+    }
+
+    /// Records `n` simulation runs actually executed (cache hits don't
+    /// count — runs/sec measures the executor, not the cache).
+    pub fn add_runs(&mut self, n: u64) {
+        self.executed_runs += n;
+    }
+
+    /// Closes the running phase and writes `BENCH_campaign.json` under
+    /// `results/`.
+    pub fn finish(mut self, cache: &ArtifactCache) {
+        self.close_current();
+        let total = self.started.elapsed().as_secs_f64();
+        let runs_per_sec = if total > 0.0 {
+            self.executed_runs as f64 / total
+        } else {
+            0.0
+        };
+        let stats = cache.stats();
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"total_wall_s\": {total:.3},\n"));
+        json.push_str(&format!("  \"executed_runs\": {},\n", self.executed_runs));
+        json.push_str(&format!("  \"runs_per_sec\": {runs_per_sec:.2},\n"));
+        json.push_str(&format!(
+            "  \"threads\": {},\n",
+            adas_core::parallel::thread_count(usize::MAX)
+        ));
+        json.push_str(&format!(
+            "  \"cache\": {{ \"enabled\": {}, \"hits\": {}, \"misses\": {}, \"writes\": {} }},\n",
+            cache.is_enabled(),
+            stats.hits,
+            stats.misses,
+            stats.writes
+        ));
+        json.push_str("  \"phases\": [\n");
+        let n = self.phases.len();
+        for (i, (name, secs)) in self.phases.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let escaped: String = name
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    _ => vec![c],
+                })
+                .collect();
+            json.push_str(&format!(
+                "    {{ \"name\": \"{escaped}\", \"wall_s\": {secs:.3} }}{comma}\n"
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        write_results_file("BENCH_campaign.json", &json);
+    }
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Paper reference values for comparisons printed by the harnesses.

@@ -1,0 +1,429 @@
+//! Content-addressed artifact cache shared by the bench binaries.
+//!
+//! Expensive artifacts — the trained LSTM weights and completed campaign
+//! cells — are stored under `results/cache/` keyed by a stable fingerprint
+//! of everything that determines them (dataset content, hyper-parameters,
+//! seed, platform configuration). Any harness that needs the same artifact
+//! loads it instead of recomputing, so `table_vi`, `table_vii`,
+//! `ml_ablation` … train the default model once between them and a repeated
+//! invocation replays a whole campaign from cache.
+//!
+//! Keys use FNV-1a over explicitly-fed bytes ([`Fingerprint`]) rather than
+//! `std::hash` — `DefaultHasher` is documented as unstable across releases,
+//! and cache keys must survive recompiles. Fingerprints are content
+//! addresses: change a hyper-parameter, a seed, or the dataset and the key
+//! changes, which *is* the invalidation story (stale entries are simply
+//! never addressed again; `rm -r results/cache` reclaims the space).
+//!
+//! Environment knobs:
+//!
+//! * `ADAS_CACHE=0` (or `off`/`false`/`no`) disables the cache entirely —
+//!   every lookup misses and nothing is written.
+//! * `ADAS_CACHE_DIR=<path>` overrides the default `results/cache`
+//!   location.
+//!
+//! Writes are atomic (temp file + rename) so concurrent harnesses never
+//! observe a torn artifact.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A stable 64-bit content fingerprint (FNV-1a), built by feeding in the
+/// values that determine an artifact.
+///
+/// Builder-style: every `write_*` consumes and returns the fingerprint, so
+/// keys read as one expression:
+///
+/// ```
+/// use adas_core::Fingerprint;
+/// let key = Fingerprint::new()
+///     .write_str("table-vi-cell")
+///     .write_u64(2025)
+///     .write_f64(2.5);
+/// assert_eq!(key, key);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// The empty fingerprint (FNV offset basis).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    #[must_use]
+    pub fn write_bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds one `u64` (little-endian).
+    #[must_use]
+    pub fn write_u64(self, v: u64) -> Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds one `f64` by bit pattern (so `-0.0` and `0.0` differ, and the
+    /// key is exact rather than printed-precision).
+    #[must_use]
+    pub fn write_f64(self, v: f64) -> Self {
+        self.write_bytes(&v.to_bits().to_le_bytes())
+    }
+
+    /// Feeds a string with a terminator, so `("ab", "c")` and `("a", "bc")`
+    /// produce different keys.
+    #[must_use]
+    pub fn write_str(self, s: &str) -> Self {
+        self.write_bytes(s.as_bytes()).write_bytes(&[0xFF])
+    }
+
+    /// Feeds a value via its `Debug` rendering — the cheap way to fold an
+    /// entire configuration struct into the key. Renaming or adding a field
+    /// changes the rendering, which (correctly) invalidates old entries.
+    #[must_use]
+    pub fn write_debug<T: fmt::Debug>(self, v: &T) -> Self {
+        self.write_str(&format!("{v:?}"))
+    }
+
+    /// The raw 64-bit value.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Fixed-width lowercase hex, used as the on-disk file name.
+    #[must_use]
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Hit/miss/write counters for one [`ArtifactCache`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Successful loads.
+    pub hits: u64,
+    /// Lookups that found nothing (or an unreadable entry).
+    pub misses: u64,
+    /// Successful stores.
+    pub writes: u64,
+}
+
+/// A content-addressed blob store on disk (see module docs).
+///
+/// Counters use atomics so a cache shared by reference across worker
+/// threads keeps honest statistics.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Cache rooted at `dir` (tests point this at a temp directory).
+    #[must_use]
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: Some(dir.into()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that never hits and never writes.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The standard process-wide configuration: `results/cache`, overridden
+    /// by `ADAS_CACHE_DIR`, disabled by `ADAS_CACHE=0|off|false|no`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        if let Ok(v) = std::env::var("ADAS_CACHE") {
+            let v = v.trim().to_ascii_lowercase();
+            if matches!(v.as_str(), "0" | "off" | "false" | "no") {
+                return Self::disabled();
+            }
+        }
+        let dir = std::env::var("ADAS_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| Path::new("results").join("cache"));
+        Self::at(dir)
+    }
+
+    /// Whether lookups can ever hit.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// On-disk path for an artifact, if the cache is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` contains anything but `[a-z0-9_-]` — kinds are
+    /// compile-time literals, not data.
+    #[must_use]
+    pub fn entry_path(&self, kind: &str, key: Fingerprint) -> Option<PathBuf> {
+        assert!(
+            !kind.is_empty()
+                && kind
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-'),
+            "artifact kind {kind:?} must be [a-z0-9_-]+"
+        );
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{kind}-{}.bin", key.hex())))
+    }
+
+    /// Loads an artifact; `None` is a miss (absent, disabled, or
+    /// unreadable).
+    #[must_use]
+    pub fn load(&self, kind: &str, key: Fingerprint) -> Option<Vec<u8>> {
+        let loaded = self
+            .entry_path(kind, key)
+            .and_then(|p| std::fs::read(p).ok());
+        match &loaded {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        loaded
+    }
+
+    /// Stores an artifact atomically (temp file + rename). Returns whether
+    /// the entry landed; failures are reported on stderr and otherwise
+    /// ignored — the cache is an accelerator, never a correctness
+    /// dependency.
+    pub fn store(&self, kind: &str, key: Fingerprint, bytes: &[u8]) -> bool {
+        let Some(path) = self.entry_path(kind, key) else {
+            return false;
+        };
+        let Some(dir) = path.parent() else {
+            return false;
+        };
+        let tmp = dir.join(format!(
+            ".tmp-{kind}-{}-{}",
+            key.hex(),
+            std::process::id()
+        ));
+        let result = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&tmp, bytes))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        match result {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                eprintln!("[cache] cannot store {}: {e}", path.display());
+                false
+            }
+        }
+    }
+
+    /// Loads an artifact or computes, stores, and returns it.
+    ///
+    /// `decode` may reject a cached blob (wrong version, truncation…) — that
+    /// counts as a miss and falls through to `compute`.
+    pub fn get_or_compute<T>(
+        &self,
+        kind: &str,
+        key: Fingerprint,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+        compute: impl FnOnce() -> T,
+        encode: impl FnOnce(&T) -> Vec<u8>,
+    ) -> T {
+        if let Some(bytes) = self.load(kind, key) {
+            if let Some(value) = decode(&bytes) {
+                return value;
+            }
+            // Undecodable entry: treat as a miss (the hit was already
+            // counted; correct the books).
+            self.hits.fetch_sub(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let value = compute();
+        self.store(kind, key, &encode(&value));
+        value
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Stable content fingerprint of a training dataset: every sample's window
+/// and target, bit-exact, plus the shape.
+#[must_use]
+pub fn fingerprint_dataset(data: &adas_ml::Dataset) -> Fingerprint {
+    let mut fp = Fingerprint::new()
+        .write_str("dataset-v1")
+        .write_u64(data.len() as u64);
+    for sample in &data.samples {
+        fp = fp.write_u64(sample.window.len() as u64);
+        for frame in &sample.window {
+            for &v in frame {
+                fp = fp.write_f64(v);
+            }
+        }
+        for &v in &sample.target {
+            fp = fp.write_f64(v);
+        }
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "adas-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_boundary_sensitive() {
+        let a = Fingerprint::new().write_str("ab").write_str("c");
+        let b = Fingerprint::new().write_str("a").write_str("bc");
+        assert_ne!(a, b);
+        let c = Fingerprint::new().write_u64(1).write_u64(2);
+        let d = Fingerprint::new().write_u64(2).write_u64(1);
+        assert_ne!(c, d);
+        assert_ne!(
+            Fingerprint::new().write_f64(0.0),
+            Fingerprint::new().write_f64(-0.0)
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        // The whole point is stability across processes and recompiles:
+        // check against the textbook FNV-1a definition, written out
+        // independently of the builder.
+        assert_eq!(Fingerprint::new().value(), FNV_OFFSET);
+        let mut reference = FNV_OFFSET;
+        for &b in b"adas" {
+            reference = (reference ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        assert_eq!(Fingerprint::new().write_bytes(b"adas").value(), reference);
+    }
+
+    #[test]
+    fn roundtrip_store_load() {
+        let dir = temp_dir("roundtrip");
+        let cache = ArtifactCache::at(&dir);
+        let key = Fingerprint::new().write_str("k1");
+        assert!(cache.load("model", key).is_none());
+        assert!(cache.store("model", key, b"payload"));
+        assert_eq!(cache.load("model", key).as_deref(), Some(&b"payload"[..]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_or_writes() {
+        let cache = ArtifactCache::disabled();
+        let key = Fingerprint::new().write_str("k");
+        assert!(!cache.store("cell", key, b"x"));
+        assert!(cache.load("cell", key).is_none());
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.stats().writes, 0);
+    }
+
+    #[test]
+    fn get_or_compute_computes_once() {
+        let dir = temp_dir("memo");
+        let cache = ArtifactCache::at(&dir);
+        let key = Fingerprint::new().write_str("answer");
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v: u64 = cache.get_or_compute(
+                "memo",
+                key,
+                |b| b.try_into().ok().map(u64::from_le_bytes),
+                || {
+                    calls += 1;
+                    42
+                },
+                |v| v.to_le_bytes().to_vec(),
+            );
+            assert_eq!(v, 42);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats().hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_falls_through_to_compute() {
+        let dir = temp_dir("corrupt");
+        let cache = ArtifactCache::at(&dir);
+        let key = Fingerprint::new().write_str("bad");
+        assert!(cache.store("memo", key, b"xyz"));
+        let v: u64 = cache.get_or_compute(
+            "memo",
+            key,
+            |b| b.try_into().ok().map(u64::from_le_bytes),
+            || 7,
+            |v| v.to_le_bytes().to_vec(),
+        );
+        assert_eq!(v, 7);
+        // The corrupt entry was overwritten with a decodable one.
+        assert_eq!(
+            cache.load("memo", key).as_deref(),
+            Some(&7u64.to_le_bytes()[..])
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be [a-z0-9_-]+")]
+    fn bad_kind_rejected() {
+        let _ = ArtifactCache::disabled().entry_path("../evil", Fingerprint::new());
+    }
+}

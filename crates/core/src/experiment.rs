@@ -1,7 +1,15 @@
 //! Campaign runner: sweeps scenarios × positions × repetitions (in
 //! parallel, deterministically) and aggregates the statistics the paper's
 //! tables report.
+//!
+//! Scheduling uses the work-stealing executor in [`crate::parallel`]: runs
+//! are claimed one at a time from a shared atomic work-queue, so uneven
+//! run lengths (early accidents vs. full 100 s time-limit runs) no longer
+//! leave threads idle behind a long static chunk. Results are keyed by run
+//! index and returned in sweep order, which keeps campaign output
+//! bit-for-bit identical at any thread count (see `ADAS_THREADS`).
 
+use crate::cache::{ArtifactCache, Fingerprint};
 use crate::config::PlatformConfig;
 use crate::platform::Platform;
 use adas_attack::{FaultInjector, FaultSpec, FaultType};
@@ -11,6 +19,7 @@ use adas_ml::{
 use adas_scenarios::{AccidentKind, InitialPosition, RunRecord, ScenarioId, ScenarioSetup};
 use adas_simulator::DeterministicRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identifies one run inside a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,12 +33,16 @@ pub struct RunId {
 }
 
 /// Executes a single fully-specified run.
+///
+/// `ml_model` is shared by reference-counted handle: the mitigation
+/// runtime holds an [`Arc`] clone instead of deep-copying the trained
+/// weights for every run of a campaign.
 #[must_use]
 pub fn run_single(
     id: RunId,
     fault: Option<FaultType>,
     config: &PlatformConfig,
-    ml_model: Option<&LstmPredictor>,
+    ml_model: Option<&Arc<LstmPredictor>>,
     campaign_seed: u64,
 ) -> RunRecord {
     let mut setup_rng = DeterministicRng::for_run(
@@ -45,22 +58,15 @@ pub fn run_single(
     };
     let ml = ml_model
         .filter(|_| config.interventions.ml)
-        .map(|m| MlMitigator::new(m.clone(), MitigationConfig::default()));
+        .map(|m| MlMitigator::new(Arc::clone(m), MitigationConfig::default()));
     let mut platform = Platform::new(&setup, *config, injector, ml, &mut setup_rng);
     platform.run()
 }
 
-/// Runs a full campaign cell: every scenario × both positions ×
-/// `repetitions`, in parallel across threads. Results are returned in a
-/// deterministic order regardless of thread scheduling.
+/// Enumerates the full sweep for one campaign cell in paper order
+/// (scenario-major, then position, then repetition).
 #[must_use]
-pub fn run_campaign(
-    fault: Option<FaultType>,
-    config: &PlatformConfig,
-    ml_model: Option<&LstmPredictor>,
-    campaign_seed: u64,
-    repetitions: u32,
-) -> Vec<(RunId, RunRecord)> {
+pub fn campaign_run_ids(repetitions: u32) -> Vec<RunId> {
     let mut ids = Vec::new();
     for scenario in ScenarioId::ALL {
         for position in InitialPosition::ALL {
@@ -73,27 +79,25 @@ pub fn run_campaign(
             }
         }
     }
+    ids
+}
 
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(ids.len().max(1));
-    let chunk = ids.len().div_ceil(threads);
-    let mut results: Vec<Option<(RunId, RunRecord)>> = vec![None; ids.len()];
-
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, id_chunk) in results.chunks_mut(chunk).zip(ids.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, id) in slot_chunk.iter_mut().zip(id_chunk) {
-                    let rec = run_single(*id, fault, config, ml_model, campaign_seed);
-                    *slot = Some((*id, rec));
-                }
-            });
-        }
-    })
-    .expect("campaign worker panicked");
-
-    results.into_iter().map(|r| r.expect("slot filled")).collect()
+/// Runs a full campaign cell: every scenario × both positions ×
+/// `repetitions`, scheduled by the work-stealing executor. Results are
+/// returned in sweep order regardless of thread count or scheduling.
+#[must_use]
+pub fn run_campaign(
+    fault: Option<FaultType>,
+    config: &PlatformConfig,
+    ml_model: Option<&Arc<LstmPredictor>>,
+    campaign_seed: u64,
+    repetitions: u32,
+) -> Vec<(RunId, RunRecord)> {
+    let ids = campaign_run_ids(repetitions);
+    let records = crate::parallel::map(&ids, |_, id| {
+        run_single(*id, fault, config, ml_model, campaign_seed)
+    });
+    ids.into_iter().zip(records).collect()
 }
 
 /// Aggregated statistics for one Table VI cell.
@@ -197,69 +201,213 @@ impl CellStats {
     }
 }
 
+/// Magic + version prefix for the [`CellStats`] cache codec.
+const CELL_MAGIC: &[u8] = b"ADASCELL\x01";
+
+impl CellStats {
+    /// Serialises to the artifact-cache binary format (little-endian,
+    /// fixed layout).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CELL_MAGIC.len() + 8 + 11 * 8 + 3);
+        out.extend_from_slice(CELL_MAGIC);
+        out.extend_from_slice(&(self.runs as u64).to_le_bytes());
+        for v in [self.a1_pct, self.a2_pct, self.prevented_pct, self.hazard_pct] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for opt in [
+            self.aeb_mitigation_time,
+            self.driver_brake_mitigation_time,
+            self.driver_steer_mitigation_time,
+        ] {
+            out.push(u8::from(opt.is_some()));
+            out.extend_from_slice(&opt.unwrap_or(0.0).to_le_bytes());
+        }
+        for v in [
+            self.aeb_trigger_rate,
+            self.driver_brake_trigger_rate,
+            self.driver_steer_trigger_rate,
+            self.ml_trigger_rate,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses [`Self::to_bytes`] output; `None` on any structural mismatch
+    /// (callers treat that as a cache miss).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let rest = bytes.strip_prefix(CELL_MAGIC)?;
+        let expected = 8 + 4 * 8 + 3 * 9 + 4 * 8;
+        if rest.len() != expected {
+            return None;
+        }
+        let mut pos = 0usize;
+        let f64_at = |rest: &[u8], p: &mut usize| -> f64 {
+            let v = f64::from_le_bytes(rest[*p..*p + 8].try_into().expect("8 bytes"));
+            *p += 8;
+            v
+        };
+        let runs = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes")) as usize;
+        pos += 8;
+        let a1_pct = f64_at(rest, &mut pos);
+        let a2_pct = f64_at(rest, &mut pos);
+        let prevented_pct = f64_at(rest, &mut pos);
+        let hazard_pct = f64_at(rest, &mut pos);
+        let opt_at = |rest: &[u8], p: &mut usize| -> Option<f64> {
+            let tag = rest[*p];
+            *p += 1;
+            let v = f64::from_le_bytes(rest[*p..*p + 8].try_into().expect("8 bytes"));
+            *p += 8;
+            (tag != 0).then_some(v)
+        };
+        let aeb_mitigation_time = opt_at(rest, &mut pos);
+        let driver_brake_mitigation_time = opt_at(rest, &mut pos);
+        let driver_steer_mitigation_time = opt_at(rest, &mut pos);
+        let aeb_trigger_rate = f64_at(rest, &mut pos);
+        let driver_brake_trigger_rate = f64_at(rest, &mut pos);
+        let driver_steer_trigger_rate = f64_at(rest, &mut pos);
+        let ml_trigger_rate = f64_at(rest, &mut pos);
+        debug_assert_eq!(pos, expected);
+        Some(Self {
+            runs,
+            a1_pct,
+            a2_pct,
+            prevented_pct,
+            hazard_pct,
+            aeb_mitigation_time,
+            driver_brake_mitigation_time,
+            driver_steer_mitigation_time,
+            aeb_trigger_rate,
+            driver_brake_trigger_rate,
+            driver_steer_trigger_rate,
+            ml_trigger_rate,
+        })
+    }
+}
+
+/// Content fingerprint of one campaign cell: everything [`run_campaign`] +
+/// [`CellStats::from_records`] depend on. `model` must be the fingerprint
+/// of the trained weights when `config.interventions.ml` is set (the cell
+/// result depends on the exact weights, not just the training seed).
+#[must_use]
+pub fn campaign_cell_fingerprint(
+    fault: Option<FaultType>,
+    config: &PlatformConfig,
+    model: Option<Fingerprint>,
+    campaign_seed: u64,
+    repetitions: u32,
+) -> Fingerprint {
+    Fingerprint::new()
+        .write_str("campaign-cell-v1")
+        .write_debug(&fault)
+        .write_debug(config)
+        .write_u64(model.map_or(0, Fingerprint::value))
+        .write_u64(u64::from(model.is_some()))
+        .write_u64(campaign_seed)
+        .write_u64(u64::from(repetitions))
+}
+
+/// Cache-through wrapper for a campaign cell's aggregate statistics: on a
+/// hit the whole `12 × repetitions`-run campaign is skipped; on a miss
+/// `compute` runs and its result is stored for every other harness keyed
+/// the same way.
+pub fn cell_stats_cached(
+    cache: &ArtifactCache,
+    key: Fingerprint,
+    compute: impl FnOnce() -> CellStats,
+) -> CellStats {
+    cache.get_or_compute("cell", key, CellStats::from_bytes, compute, CellStats::to_bytes)
+}
+
+/// Simulates one fault-free training episode and returns its (true state,
+/// executed control) trajectory.
+fn run_training_episode(
+    scenario: ScenarioId,
+    position: InitialPosition,
+    rep: u32,
+    campaign_seed: u64,
+    config: &PlatformConfig,
+) -> (Vec<StateFeatures>, Vec<ControlTarget>) {
+    let mut rng = DeterministicRng::for_run(
+        campaign_seed ^ 0x7EA1,
+        scenario.index() as u64,
+        position.index() as u64,
+        u64::from(rep),
+    );
+    let setup = ScenarioSetup::build(scenario, position, &mut rng);
+    let mut platform = Platform::new(&setup, *config, FaultInjector::disabled(), None, &mut rng);
+
+    let mut states = Vec::new();
+    let mut outputs = Vec::new();
+    let mut prev = ControlTarget::default();
+    loop {
+        // Record the pre-step true state.
+        let w = platform.world();
+        let truth = w.lead_observation();
+        let ego = *w.ego().state();
+        let half = w.road().lane_width() / 2.0;
+        let curvature = w.road().curvature_at(ego.s);
+        let state = StateFeatures {
+            ego_speed: ego.v,
+            lead_distance: truth.map_or(f64::INFINITY, |o| o.distance),
+            closing_speed: truth.map_or(0.0, |o| o.closing_speed),
+            left_line: half - ego.d,
+            right_line: half + ego.d,
+            curvature,
+            heading: ego.psi,
+            prev_accel: prev.accel,
+            prev_steer: prev.steer,
+        };
+        let frame = platform.step();
+        // The executed command: reconstruct from the world's ego
+        // actuators via the trace-free path (ADAS command ≈ the
+        // realised accel for benign runs).
+        let _ = frame;
+        let ego_after = *platform.world().ego().state();
+        let out = ControlTarget {
+            accel: ego_after.accel,
+            steer: ego_after.steer,
+        };
+        states.push(state);
+        outputs.push(out);
+        prev = out;
+        if let crate::platform::RunEnd2::Yes(_) = platform.finished() {
+            break;
+        }
+    }
+    (states, outputs)
+}
+
 /// Collects fault-free training episodes for the ML baseline.
 ///
 /// Runs the platform without interventions or faults across all scenarios
 /// and both positions, recording (true state, executed ADAS control) pairs
 /// at every control cycle, then windows them into a [`Dataset`].
+///
+/// Episodes are simulated in parallel on the work-stealing executor (each
+/// episode derives its own RNG stream from its sweep coordinate) and
+/// merged into the dataset in sweep order, so the resulting sample order
+/// is identical to the historical serial implementation at any thread
+/// count.
 #[must_use]
 pub fn collect_training_data(campaign_seed: u64, repetitions: u32, stride: usize) -> Dataset {
     let config = PlatformConfig::default();
-    let mut dataset = Dataset::new();
+    let mut coords = Vec::new();
     for scenario in ScenarioId::ALL {
         for position in InitialPosition::ALL {
             for rep in 0..repetitions {
-                let mut rng = DeterministicRng::for_run(
-                    campaign_seed ^ 0x7EA1,
-                    scenario.index() as u64,
-                    position.index() as u64,
-                    u64::from(rep),
-                );
-                let setup = ScenarioSetup::build(scenario, position, &mut rng);
-                let mut platform =
-                    Platform::new(&setup, config, FaultInjector::disabled(), None, &mut rng);
-
-                let mut states = Vec::new();
-                let mut outputs = Vec::new();
-                let mut prev = ControlTarget::default();
-                loop {
-                    // Record the pre-step true state.
-                    let w = platform.world();
-                    let truth = w.lead_observation();
-                    let ego = *w.ego().state();
-                    let half = w.road().lane_width() / 2.0;
-                    let curvature = w.road().curvature_at(ego.s);
-                    let state = StateFeatures {
-                        ego_speed: ego.v,
-                        lead_distance: truth.map_or(f64::INFINITY, |o| o.distance),
-                        closing_speed: truth.map_or(0.0, |o| o.closing_speed),
-                        left_line: half - ego.d,
-                        right_line: half + ego.d,
-                        curvature,
-                        heading: ego.psi,
-                        prev_accel: prev.accel,
-                        prev_steer: prev.steer,
-                    };
-                    let frame = platform.step();
-                    // The executed command: reconstruct from the world's ego
-                    // actuators via the trace-free path (ADAS command ≈ the
-                    // realised accel for benign runs).
-                    let _ = frame;
-                    let ego_after = *platform.world().ego().state();
-                    let out = ControlTarget {
-                        accel: ego_after.accel,
-                        steer: ego_after.steer,
-                    };
-                    states.push(state);
-                    outputs.push(out);
-                    prev = out;
-                    if let crate::platform::RunEnd2::Yes(_) = platform.finished() {
-                        break;
-                    }
-                }
-                dataset.add_episode(&states, &outputs, stride);
+                coords.push((scenario, position, rep));
             }
         }
+    }
+    let episodes = crate::parallel::map(&coords, |_, &(scenario, position, rep)| {
+        run_training_episode(scenario, position, rep, campaign_seed, &config)
+    });
+    let mut dataset = Dataset::new();
+    for (states, outputs) in &episodes {
+        dataset.add_episode(states, outputs, stride);
     }
     dataset
 }
@@ -271,8 +419,10 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic_and_ordered() {
-        let mut cfg = PlatformConfig::default();
-        cfg.max_steps = 300;
+        let cfg = PlatformConfig {
+            max_steps: 300,
+            ..PlatformConfig::default()
+        };
         let a = run_campaign(None, &cfg, None, 9, 1);
         let b = run_campaign(None, &cfg, None, 9, 1);
         assert_eq!(a.len(), 12); // 6 scenarios × 2 positions × 1 rep
@@ -285,8 +435,10 @@ mod tests {
 
     #[test]
     fn cell_stats_percentages_sum_to_100() {
-        let mut cfg = PlatformConfig::default();
-        cfg.max_steps = 2000;
+        let cfg = PlatformConfig {
+            max_steps: 2000,
+            ..PlatformConfig::default()
+        };
         let recs = run_campaign(Some(FaultType::RelativeDistance), &cfg, None, 3, 1);
         let stats = CellStats::from_records(recs.iter().map(|(_, r)| r));
         let total = stats.a1_pct + stats.a2_pct + stats.prevented_pct;

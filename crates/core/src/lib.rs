@@ -31,14 +31,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod experiment;
 pub mod platform;
 pub mod tables;
 
+/// Deterministic work-stealing executor (re-export of [`adas_parallel`]):
+/// shared atomic work-queue over scoped threads, honouring `ADAS_THREADS`.
+pub use adas_parallel as parallel;
+
+pub use cache::{fingerprint_dataset, ArtifactCache, CacheStats, Fingerprint};
 pub use config::{InterventionConfig, PlatformConfig};
 pub use experiment::{
-    collect_training_data, run_campaign, run_single, CellStats, RunId,
+    campaign_cell_fingerprint, campaign_run_ids, cell_stats_cached, collect_training_data,
+    run_campaign, run_single, CellStats, RunId,
 };
 pub use platform::{Platform, RunEnd, RunEnd2};
 pub use tables::{fmt_opt_time, fmt_pct, TextTable};

@@ -447,9 +447,11 @@ mod tests {
 
     #[test]
     fn run_ends_by_time_limit_when_nothing_happens() {
-        let mut cfg = PlatformConfig::default();
-        cfg.max_steps = 200;
-        cfg.quiescence_steps = 0;
+        let cfg = PlatformConfig {
+            max_steps: 200,
+            quiescence_steps: 0,
+            ..PlatformConfig::default()
+        };
         let rec = run(ScenarioId::S1, cfg, None);
         assert_eq!(rec.steps, 200);
     }

@@ -1,0 +1,77 @@
+//! Determinism guarantees of the parallel campaign executor and the
+//! artifact cache: results must be bit-for-bit identical at any thread
+//! count, and a cache hit must reproduce the cold computation exactly.
+
+use adas_attack::FaultType;
+use adas_core::{
+    campaign_cell_fingerprint, cell_stats_cached, run_campaign, ArtifactCache, CellStats,
+    InterventionConfig, PlatformConfig,
+};
+use std::sync::Mutex;
+
+/// Serialises tests that mutate `ADAS_THREADS` (integration tests in this
+/// binary run on parallel threads, and the variable is process-global).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+const SEED: u64 = 0x5EED;
+
+fn campaign_with_threads(threads: &str, cfg: &PlatformConfig) -> Vec<u8> {
+    std::env::set_var("ADAS_THREADS", threads);
+    let records = run_campaign(Some(FaultType::RelativeDistance), cfg, None, SEED, 1);
+    std::env::remove_var("ADAS_THREADS");
+    // Serialise through Debug so any drift in any field is caught, not
+    // just the aggregated statistics.
+    format!("{records:?}").into_bytes()
+}
+
+#[test]
+fn run_campaign_is_thread_count_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let cfg = PlatformConfig::with_interventions(InterventionConfig::driver_only());
+    let serial = campaign_with_threads("1", &cfg);
+    let four = campaign_with_threads("4", &cfg);
+    let many = campaign_with_threads("13", &cfg);
+    assert_eq!(serial, four, "4 threads must match serial bit-for-bit");
+    assert_eq!(serial, many, "13 threads must match serial bit-for-bit");
+}
+
+#[test]
+fn cache_hit_reproduces_cold_cell_stats_exactly() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!(
+        "adas-cache-test-{}-determinism",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ArtifactCache::at(&dir);
+
+    let cfg = PlatformConfig::with_interventions(InterventionConfig::driver_only());
+    let key = campaign_cell_fingerprint(Some(FaultType::DesiredCurvature), &cfg, None, SEED, 1);
+
+    let cold = cell_stats_cached(&cache, key, || {
+        let records = run_campaign(Some(FaultType::DesiredCurvature), &cfg, None, SEED, 1);
+        CellStats::from_records(records.iter().map(|(_, r)| r))
+    });
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.writes),
+        (0, 1, 1),
+        "cold lookup must miss and persist"
+    );
+
+    let warm = cell_stats_cached(&cache, key, || {
+        panic!("warm lookup must be served from the cache, not recomputed")
+    });
+    assert_eq!(cache.stats().hits, 1, "second lookup must hit");
+    assert_eq!(
+        cold.to_bytes(),
+        warm.to_bytes(),
+        "cached CellStats must be bit-identical to the cold computation"
+    );
+
+    // A different key (here: different repetition count) must not collide.
+    let other = campaign_cell_fingerprint(Some(FaultType::DesiredCurvature), &cfg, None, SEED, 2);
+    assert_ne!(key.value(), other.value());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -46,17 +46,53 @@ impl Linear {
     /// Panics if `x.len() != cols`.
     #[must_use]
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// `y = W x + b`, written into a preallocated output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn forward_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "input dimension mismatch");
-        let mut y = self.b.clone();
+        assert_eq!(y.len(), self.rows, "output dimension mismatch");
         for (r, y_r) in y.iter_mut().enumerate() {
             let row = &self.w[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0;
             for (w_rc, x_c) in row.iter().zip(x) {
                 acc += w_rc * x_c;
             }
-            *y_r += acc;
+            *y_r = self.b[r] + acc;
         }
-        y
+    }
+
+    /// `y = W [xa; xb] + b` without materialising the concatenation.
+    ///
+    /// Bit-identical to [`Self::forward_into`] on the concatenated input:
+    /// each row's accumulator consumes `xa`'s columns then `xb`'s, in the
+    /// same order as a contiguous input slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xa.len() + xb.len() != cols` or `y.len() != rows`.
+    pub fn forward_concat_into(&self, xa: &[f64], xb: &[f64], y: &mut [f64]) {
+        assert_eq!(xa.len() + xb.len(), self.cols, "input dimension mismatch");
+        assert_eq!(y.len(), self.rows, "output dimension mismatch");
+        let na = xa.len();
+        for (r, y_r) in y.iter_mut().enumerate() {
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (w_rc, x_c) in row[..na].iter().zip(xa) {
+                acc += w_rc * x_c;
+            }
+            for (w_rc, x_c) in row[na..].iter().zip(xb) {
+                acc += w_rc * x_c;
+            }
+            *y_r = self.b[r] + acc;
+        }
     }
 
     /// Accumulates gradients for one sample and returns `dL/dx`.
@@ -65,19 +101,83 @@ impl Linear {
     /// `dy` the gradient of the loss with respect to the output.
     #[must_use]
     pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols);
-        assert_eq!(dy.len(), self.rows);
         let mut dx = vec![0.0; self.cols];
+        let rows = self.rows;
+        let cols = self.cols;
+        backward_kernel(
+            &self.w,
+            rows,
+            cols,
+            x,
+            dy,
+            &mut self.gw,
+            &mut self.gb,
+            &mut dx,
+        );
+        dx
+    }
+
+    /// Gradient accumulation into caller-owned buffers (`&self` receiver so
+    /// workers can share one read-only weight set).
+    ///
+    /// Adds this sample's parameter gradients into `gw`/`gb` and *writes*
+    /// (overwrites) `dL/dx` into `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn backward_into(
+        &self,
+        x: &[f64],
+        dy: &[f64],
+        gw: &mut [f64],
+        gb: &mut [f64],
+        dx: &mut [f64],
+    ) {
+        dx.fill(0.0);
+        backward_kernel(&self.w, self.rows, self.cols, x, dy, gw, gb, dx);
+    }
+
+    /// [`Self::backward_into`] for a concatenated input `[xa; xb]`, writing
+    /// the input gradient into two buffers without materialising the
+    /// concatenation. Bit-identical to the contiguous version.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_concat_into(
+        &self,
+        xa: &[f64],
+        xb: &[f64],
+        dy: &[f64],
+        gw: &mut [f64],
+        gb: &mut [f64],
+        dxa: &mut [f64],
+        dxb: &mut [f64],
+    ) {
+        let na = xa.len();
+        assert_eq!(na + xb.len(), self.cols, "input dimension mismatch");
+        assert_eq!(dy.len(), self.rows, "gradient dimension mismatch");
+        assert_eq!(gw.len(), self.w.len());
+        assert_eq!(gb.len(), self.rows);
+        assert_eq!(dxa.len(), na);
+        assert_eq!(dxb.len(), xb.len());
+        dxa.fill(0.0);
+        dxb.fill(0.0);
         for (r, dy_r) in dy.iter().enumerate() {
-            self.gb[r] += dy_r;
+            gb[r] += dy_r;
             let row_w = &self.w[r * self.cols..(r + 1) * self.cols];
-            let row_g = &mut self.gw[r * self.cols..(r + 1) * self.cols];
-            for c in 0..self.cols {
-                row_g[c] += dy_r * x[c];
-                dx[c] += row_w[c] * dy_r;
+            let row_g = &mut gw[r * self.cols..(r + 1) * self.cols];
+            for c in 0..na {
+                row_g[c] += dy_r * xa[c];
+                dxa[c] += row_w[c] * dy_r;
+            }
+            for c in 0..xb.len() {
+                row_g[na + c] += dy_r * xb[c];
+                dxb[c] += row_w[na + c] * dy_r;
             }
         }
-        dx
     }
 
     /// Clears the gradient accumulators.
@@ -90,6 +190,37 @@ impl Linear {
     #[must_use]
     pub fn param_count(&self) -> usize {
         self.w.len() + self.b.len()
+    }
+}
+
+/// Shared gradient kernel: `gb += dy`, `gw += dy ⊗ x`, `dx += Wᵀ dy`.
+///
+/// `dx` is accumulated into (callers zero it first when they want a pure
+/// write), matching the historical accumulation order exactly.
+#[allow(clippy::too_many_arguments)]
+fn backward_kernel(
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+    x: &[f64],
+    dy: &[f64],
+    gw: &mut [f64],
+    gb: &mut [f64],
+    dx: &mut [f64],
+) {
+    assert_eq!(x.len(), cols, "input dimension mismatch");
+    assert_eq!(dy.len(), rows, "gradient dimension mismatch");
+    assert_eq!(gw.len(), w.len());
+    assert_eq!(gb.len(), rows);
+    assert_eq!(dx.len(), cols);
+    for (r, dy_r) in dy.iter().enumerate() {
+        gb[r] += dy_r;
+        let row_w = &w[r * cols..(r + 1) * cols];
+        let row_g = &mut gw[r * cols..(r + 1) * cols];
+        for c in 0..cols {
+            row_g[c] += dy_r * x[c];
+            dx[c] += row_w[c] * dy_r;
+        }
     }
 }
 

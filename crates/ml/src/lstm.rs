@@ -10,6 +10,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Cached activations for one timestep (needed by BPTT).
+///
+/// Reused across timesteps/samples: [`Lstm::step_cached`] overwrites the
+/// buffers in place, so after the first use of a cache slot no allocation
+/// happens on the training hot path.
 #[derive(Debug, Clone, Default)]
 pub struct LstmCache {
     x: Vec<f64>,
@@ -20,6 +24,11 @@ pub struct LstmCache {
     g: Vec<f64>,
     o: Vec<f64>,
     tanh_c: Vec<f64>,
+}
+
+fn copy_into(dst: &mut Vec<f64>, src: &[f64]) {
+    dst.clear();
+    dst.extend_from_slice(src);
 }
 
 /// One LSTM layer.
@@ -50,52 +59,108 @@ impl Lstm {
     }
 
     /// Runs one timestep. Returns `(h, c)` and the cache for BPTT.
+    ///
+    /// Allocating convenience wrapper around [`Self::step_cached`]; the
+    /// training/inference hot paths use the `_into`-style variants with
+    /// preallocated buffers instead.
     #[must_use]
     pub fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, LstmCache) {
-        assert_eq!(x.len(), self.input);
-        assert_eq!(h_prev.len(), self.hidden);
-        assert_eq!(c_prev.len(), self.hidden);
         let h = self.hidden;
-
-        let mut xin = Vec::with_capacity(self.input + h);
-        xin.extend_from_slice(x);
-        xin.extend_from_slice(h_prev);
-        let z = self.gates.forward(&xin);
-
-        let mut i = vec![0.0; h];
-        let mut f = vec![0.0; h];
-        let mut g = vec![0.0; h];
-        let mut o = vec![0.0; h];
-        let mut c = vec![0.0; h];
-        let mut tanh_c = vec![0.0; h];
+        let mut z = vec![0.0; 4 * h];
+        let mut cache = LstmCache::default();
         let mut h_out = vec![0.0; h];
-        for k in 0..h {
-            i[k] = sigmoid(z[k]);
-            f[k] = sigmoid(z[h + k]);
-            g[k] = z[2 * h + k].tanh();
-            o[k] = sigmoid(z[3 * h + k]);
-            c[k] = f[k] * c_prev[k] + i[k] * g[k];
-            tanh_c[k] = c[k].tanh();
-            h_out[k] = o[k] * tanh_c[k];
-        }
+        let mut c_out = vec![0.0; h];
+        self.step_cached(x, h_prev, c_prev, &mut z, &mut cache, &mut h_out, &mut c_out);
+        (h_out, c_out, cache)
+    }
 
-        let cache = LstmCache {
-            x: x.to_vec(),
-            h_prev: h_prev.to_vec(),
-            c_prev: c_prev.to_vec(),
-            i,
-            f,
-            g,
-            o,
-            tanh_c,
-        };
-        (h_out, c, cache)
+    /// Allocation-free timestep that also records the BPTT cache in place.
+    ///
+    /// `z` is gate pre-activation scratch of length `4·hidden`; `h_out` /
+    /// `c_out` must not alias `h_prev` / `c_prev` (callers double-buffer and
+    /// swap). Bit-identical to [`Self::step`]: the packed gate matvec
+    /// consumes `x` then `h_prev` in the same order as the concatenated
+    /// input, and the element-wise gate math is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_cached(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+        z: &mut [f64],
+        cache: &mut LstmCache,
+        h_out: &mut [f64],
+        c_out: &mut [f64],
+    ) {
+        let h = self.hidden;
+        assert_eq!(x.len(), self.input);
+        assert_eq!(h_prev.len(), h);
+        assert_eq!(c_prev.len(), h);
+        self.gates.forward_concat_into(x, h_prev, z);
+
+        copy_into(&mut cache.x, x);
+        copy_into(&mut cache.h_prev, h_prev);
+        copy_into(&mut cache.c_prev, c_prev);
+        cache.i.resize(h, 0.0);
+        cache.f.resize(h, 0.0);
+        cache.g.resize(h, 0.0);
+        cache.o.resize(h, 0.0);
+        cache.tanh_c.resize(h, 0.0);
+
+        for k in 0..h {
+            cache.i[k] = sigmoid(z[k]);
+            cache.f[k] = sigmoid(z[h + k]);
+            cache.g[k] = z[2 * h + k].tanh();
+            cache.o[k] = sigmoid(z[3 * h + k]);
+            c_out[k] = cache.f[k] * c_prev[k] + cache.i[k] * cache.g[k];
+            cache.tanh_c[k] = c_out[k].tanh();
+            h_out[k] = cache.o[k] * cache.tanh_c[k];
+        }
+    }
+
+    /// Allocation-free inference timestep (no BPTT cache).
+    ///
+    /// Same numerics as [`Self::step`]; `h_out` / `c_out` must not alias
+    /// `h_prev` / `c_prev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn step_infer(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+        z: &mut [f64],
+        h_out: &mut [f64],
+        c_out: &mut [f64],
+    ) {
+        let h = self.hidden;
+        assert_eq!(x.len(), self.input);
+        assert_eq!(h_prev.len(), h);
+        assert_eq!(c_prev.len(), h);
+        self.gates.forward_concat_into(x, h_prev, z);
+        for k in 0..h {
+            let i = sigmoid(z[k]);
+            let f = sigmoid(z[h + k]);
+            let g = z[2 * h + k].tanh();
+            let o = sigmoid(z[3 * h + k]);
+            c_out[k] = f * c_prev[k] + i * g;
+            h_out[k] = o * c_out[k].tanh();
+        }
     }
 
     /// Backpropagates one timestep.
     ///
     /// `dh`/`dc` are the gradients flowing into this step's `h`/`c` outputs;
     /// returns `(dx, dh_prev, dc_prev)` and accumulates parameter gradients.
+    ///
+    /// Allocating wrapper around [`Self::step_backward_into`] that
+    /// accumulates into the layer's own `gates.gw`/`gates.gb`.
     #[must_use]
     pub fn step_backward(
         &mut self,
@@ -105,7 +170,57 @@ impl Lstm {
     ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let h = self.hidden;
         let mut dz = vec![0.0; 4 * h];
+        let mut dx = vec![0.0; self.input];
+        let mut dh_prev = vec![0.0; h];
         let mut dc_prev = vec![0.0; h];
+        // Temporarily detach the accumulators so the shared `&self` kernel
+        // can borrow the weights read-only.
+        let mut gw = std::mem::take(&mut self.gates.gw);
+        let mut gb = std::mem::take(&mut self.gates.gb);
+        self.step_backward_into(
+            cache,
+            dh,
+            dc_in,
+            &mut gw,
+            &mut gb,
+            &mut dz,
+            &mut dx,
+            &mut dh_prev,
+            &mut dc_prev,
+        );
+        self.gates.gw = gw;
+        self.gates.gb = gb;
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// Allocation-free BPTT step into caller-owned gradient buffers.
+    ///
+    /// Adds this step's parameter gradients into `gw`/`gb` (layout matching
+    /// `gates.w`/`gates.b`), using `dz` (length `4·hidden`) as scratch, and
+    /// writes the input-side gradients into `dx`/`dh_prev`/`dc_prev`. The
+    /// `&self` receiver lets parallel workers share one read-only weight
+    /// set while accumulating into private buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_backward_into(
+        &self,
+        cache: &LstmCache,
+        dh: &[f64],
+        dc_in: &[f64],
+        gw: &mut [f64],
+        gb: &mut [f64],
+        dz: &mut [f64],
+        dx: &mut [f64],
+        dh_prev: &mut [f64],
+        dc_prev: &mut [f64],
+    ) {
+        let h = self.hidden;
+        assert_eq!(dh.len(), h);
+        assert_eq!(dc_in.len(), h);
+        assert_eq!(dz.len(), 4 * h);
 
         for k in 0..h {
             // h = o · tanh(c)
@@ -123,14 +238,8 @@ impl Lstm {
             dz[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
         }
 
-        let mut xin = Vec::with_capacity(self.input + h);
-        xin.extend_from_slice(&cache.x);
-        xin.extend_from_slice(&cache.h_prev);
-        let dxin = self.gates.backward(&xin, &dz);
-
-        let dx = dxin[..self.input].to_vec();
-        let dh_prev = dxin[self.input..].to_vec();
-        (dx, dh_prev, dc_prev)
+        self.gates
+            .backward_concat_into(&cache.x, &cache.h_prev, dz, gw, gb, dx, dh_prev);
     }
 
     /// Clears gradient accumulators.
@@ -158,7 +267,7 @@ mod tests {
     #[test]
     fn shapes_are_consistent() {
         let l = Lstm::new(3, 4, &mut rng());
-        let (h, c, _) = l.step(&[0.1, 0.2, 0.3], &vec![0.0; 4], &vec![0.0; 4]);
+        let (h, c, _) = l.step(&[0.1, 0.2, 0.3], &[0.0; 4], &[0.0; 4]);
         assert_eq!(h.len(), 4);
         assert_eq!(c.len(), 4);
     }

@@ -8,8 +8,9 @@
 
 use crate::cusum::Cusum;
 use crate::features::{ControlTarget, StateFeatures, WINDOW};
-use crate::model::{LstmPredictor, PredictorState};
+use crate::model::{InferScratch, LstmPredictor, PredictorState};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Mitigation gate parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,12 +31,17 @@ impl Default for MitigationConfig {
 }
 
 /// The runtime mitigator.
+///
+/// The trained model is held behind an [`Arc`] so campaign runners share
+/// one set of weights across hundreds of runs instead of deep-copying
+/// ~32 k parameters per run.
 #[derive(Debug, Clone)]
 pub struct MlMitigator {
-    model: LstmPredictor,
+    model: Arc<LstmPredictor>,
     config: MitigationConfig,
     cusum: Cusum,
     state: PredictorState,
+    scratch: InferScratch,
     warmup: usize,
     recovery: bool,
     first_activation: Option<f64>,
@@ -44,14 +50,20 @@ pub struct MlMitigator {
 
 impl MlMitigator {
     /// Wraps a (trained) model in the Algorithm 1 runtime.
+    ///
+    /// Accepts either an owned model or an [`Arc`] handle — pass
+    /// `Arc::clone(&model)` to share weights across mitigators.
     #[must_use]
-    pub fn new(model: LstmPredictor, config: MitigationConfig) -> Self {
+    pub fn new(model: impl Into<Arc<LstmPredictor>>, config: MitigationConfig) -> Self {
+        let model = model.into();
         let state = model.init_state();
+        let scratch = model.infer_scratch();
         Self {
             model,
             config,
             cusum: Cusum::new(config.tau, config.bias),
             state,
+            scratch,
             warmup: 0,
             recovery: false,
             first_activation: None,
@@ -91,7 +103,7 @@ impl MlMitigator {
         time: f64,
     ) -> Option<ControlTarget> {
         let x = state.encode();
-        let y = self.model.step(&x, &mut self.state);
+        let y = self.model.step_with(&x, &mut self.state, &mut self.scratch);
         let prediction = ControlTarget::decode(&y);
 
         // Warm-up: the paper's model consumes 20 continuous frames before
@@ -102,13 +114,11 @@ impl MlMitigator {
         }
 
         let delta = prediction.discrepancy(adas_output);
-        if !self.recovery {
-            if self.cusum.update(delta) {
-                self.recovery = true;
-                self.activations += 1;
-                if self.first_activation.is_none() {
-                    self.first_activation = Some(time);
-                }
+        if !self.recovery && self.cusum.update(delta) {
+            self.recovery = true;
+            self.activations += 1;
+            if self.first_activation.is_none() {
+                self.first_activation = Some(time);
             }
         }
 

@@ -55,6 +55,22 @@ pub struct PredictorState {
     c2: Vec<f64>,
 }
 
+/// Preallocated inference scratch for [`LstmPredictor::step_with`].
+///
+/// Holds the gate pre-activation buffers and the double-buffered next
+/// hidden/cell states, so a 100 Hz control loop performs zero heap
+/// allocations per cycle after construction.
+#[derive(Debug, Clone)]
+pub struct InferScratch {
+    z1: Vec<f64>,
+    z2: Vec<f64>,
+    h1: Vec<f64>,
+    c1: Vec<f64>,
+    h2: Vec<f64>,
+    c2: Vec<f64>,
+    y: Vec<f64>,
+}
+
 /// The two-layer LSTM + linear head.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LstmPredictor {
@@ -100,17 +116,56 @@ impl LstmPredictor {
         }
     }
 
+    /// Preallocated scratch sized for this architecture (see
+    /// [`Self::step_with`]).
+    #[must_use]
+    pub fn infer_scratch(&self) -> InferScratch {
+        InferScratch {
+            z1: vec![0.0; 4 * self.spec.hidden1],
+            z2: vec![0.0; 4 * self.spec.hidden2],
+            h1: vec![0.0; self.spec.hidden1],
+            c1: vec![0.0; self.spec.hidden1],
+            h2: vec![0.0; self.spec.hidden2],
+            c2: vec![0.0; self.spec.hidden2],
+            y: vec![0.0; TARGET_DIM],
+        }
+    }
+
     /// Advances the recurrent state by one control cycle and returns the
     /// normalised prediction.
+    ///
+    /// Allocating convenience wrapper around [`Self::step_with`]; callers
+    /// on the hot path hold an [`InferScratch`] and use `step_with`
+    /// directly.
     pub fn step(&self, x: &[f64; FEATURE_DIM], state: &mut PredictorState) -> [f64; TARGET_DIM] {
-        let (h1, c1, _) = self.l1.step(x, &state.h1, &state.c1);
-        let (h2, c2, _) = self.l2.step(&h1, &state.h2, &state.c2);
-        state.h1 = h1;
-        state.c1 = c1;
-        state.h2 = h2.clone();
-        state.c2 = c2;
-        let y = self.head.forward(&h2);
-        [y[0], y[1]]
+        let mut scratch = self.infer_scratch();
+        self.step_with(x, state, &mut scratch)
+    }
+
+    /// Allocation-free [`Self::step`]: advances `state` using preallocated
+    /// `scratch` buffers. Bit-identical to `step`.
+    pub fn step_with(
+        &self,
+        x: &[f64; FEATURE_DIM],
+        state: &mut PredictorState,
+        scratch: &mut InferScratch,
+    ) -> [f64; TARGET_DIM] {
+        self.l1
+            .step_infer(x, &state.h1, &state.c1, &mut scratch.z1, &mut scratch.h1, &mut scratch.c1);
+        self.l2.step_infer(
+            &scratch.h1,
+            &state.h2,
+            &state.c2,
+            &mut scratch.z2,
+            &mut scratch.h2,
+            &mut scratch.c2,
+        );
+        std::mem::swap(&mut state.h1, &mut scratch.h1);
+        std::mem::swap(&mut state.c1, &mut scratch.c1);
+        std::mem::swap(&mut state.h2, &mut scratch.h2);
+        std::mem::swap(&mut state.c2, &mut scratch.c2);
+        self.head.forward_into(&state.h2, &mut scratch.y);
+        [scratch.y[0], scratch.y[1]]
     }
 
     /// Runs a whole window from a zero state (training/eval convenience —
@@ -118,11 +173,152 @@ impl LstmPredictor {
     #[must_use]
     pub fn predict_window(&self, window: &[[f64; FEATURE_DIM]]) -> [f64; TARGET_DIM] {
         let mut st = self.init_state();
+        let mut scratch = self.infer_scratch();
         let mut out = [0.0; TARGET_DIM];
         for x in window {
-            out = self.step(x, &mut st);
+            out = self.step_with(x, &mut st, &mut scratch);
         }
         out
+    }
+
+    /// Serialises the trained weights to a portable little-endian binary
+    /// blob (for the artifact cache). Gradient accumulators are not stored.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MODEL_MAGIC);
+        for v in [
+            self.spec.hidden1 as u64,
+            self.spec.hidden2 as u64,
+            self.spec.seed,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for lin in [&self.l1.gates, &self.l2.gates, &self.head] {
+            out.extend_from_slice(&(lin.rows as u64).to_le_bytes());
+            out.extend_from_slice(&(lin.cols as u64).to_le_bytes());
+            for v in lin.w.iter().chain(lin.b.iter()) {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a model from [`Self::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (bad magic,
+    /// truncation, dimension mismatch) — callers treat any error as a cache
+    /// miss and retrain.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(MODEL_MAGIC.len())?;
+        if magic != MODEL_MAGIC {
+            return Err("bad model magic".into());
+        }
+        let hidden1 = r.u64()? as usize;
+        let hidden2 = r.u64()? as usize;
+        let seed = r.u64()?;
+        if hidden1 == 0 || hidden2 == 0 || hidden1 > 1 << 16 || hidden2 > 1 << 16 {
+            return Err(format!("implausible hidden sizes {hidden1}/{hidden2}"));
+        }
+        let spec = ModelSpec {
+            hidden1,
+            hidden2,
+            seed,
+        };
+        let expect = [
+            (4 * hidden1, FEATURE_DIM + hidden1),
+            (4 * hidden2, hidden1 + hidden2),
+            (TARGET_DIM, hidden2),
+        ];
+        let mut linears = Vec::with_capacity(3);
+        for (want_rows, want_cols) in expect {
+            let rows = r.u64()? as usize;
+            let cols = r.u64()? as usize;
+            if rows != want_rows || cols != want_cols {
+                return Err(format!(
+                    "layer shape {rows}×{cols}, expected {want_rows}×{want_cols}"
+                ));
+            }
+            let mut w = vec![0.0; rows * cols];
+            for v in &mut w {
+                *v = r.f64()?;
+            }
+            let mut b = vec![0.0; rows];
+            for v in &mut b {
+                *v = r.f64()?;
+            }
+            linears.push(Linear {
+                rows,
+                cols,
+                w,
+                b,
+                gw: vec![0.0; rows * cols],
+                gb: vec![0.0; rows],
+            });
+        }
+        if !r.is_empty() {
+            return Err("trailing bytes after model payload".into());
+        }
+        let head = linears.pop().expect("three layers parsed");
+        let g2 = linears.pop().expect("three layers parsed");
+        let g1 = linears.pop().expect("three layers parsed");
+        Ok(Self {
+            l1: Lstm {
+                input: FEATURE_DIM,
+                hidden: hidden1,
+                gates: g1,
+            },
+            l2: Lstm {
+                input: hidden1,
+                hidden: hidden2,
+                gates: g2,
+            },
+            head,
+            spec,
+        })
+    }
+}
+
+/// Magic + format version prefix for [`LstmPredictor::to_bytes`].
+const MODEL_MAGIC: &[u8] = b"ADASLSTM\x01";
+
+/// Minimal little-endian cursor for [`LstmPredictor::from_bytes`].
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| "truncated model payload".to_string())?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.bytes.len()
     }
 }
 
@@ -171,6 +367,54 @@ mod tests {
         let small = LstmPredictor::new(ModelSpec::default());
         let big = LstmPredictor::new(ModelSpec::paper_best());
         assert!(big.param_count() > small.param_count());
+    }
+
+    #[test]
+    fn step_with_matches_step_bitwise() {
+        let m = LstmPredictor::new(ModelSpec::default());
+        let mut st_a = m.init_state();
+        let mut st_b = m.init_state();
+        let mut scratch = m.infer_scratch();
+        for t in 0..50 {
+            let mut x = [0.0; FEATURE_DIM];
+            x[0] = (t as f64 * 0.13).sin();
+            x[3] = (t as f64 * 0.07).cos();
+            let ya = m.step(&x, &mut st_a);
+            let yb = m.step_with(&x, &mut st_b, &mut scratch);
+            assert_eq!(ya, yb, "diverged at step {t}");
+        }
+        assert_eq!(st_a, st_b);
+    }
+
+    #[test]
+    fn bytes_roundtrip_is_exact() {
+        let m = LstmPredictor::new(ModelSpec {
+            hidden1: 16,
+            hidden2: 8,
+            seed: 77,
+        });
+        let blob = m.to_bytes();
+        let back = LstmPredictor::from_bytes(&blob).expect("roundtrip");
+        assert_eq!(m, back);
+        assert_eq!(m.spec(), back.spec());
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let m = LstmPredictor::new(ModelSpec {
+            hidden1: 8,
+            hidden2: 4,
+            seed: 1,
+        });
+        let blob = m.to_bytes();
+        assert!(LstmPredictor::from_bytes(&blob[..blob.len() - 1]).is_err());
+        assert!(LstmPredictor::from_bytes(b"not a model").is_err());
+        let mut bad_magic = blob.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(LstmPredictor::from_bytes(&bad_magic).is_err());
+        let mut extended = blob;
+        extended.push(0);
+        assert!(LstmPredictor::from_bytes(&extended).is_err());
     }
 
     #[test]

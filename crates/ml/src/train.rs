@@ -2,6 +2,7 @@
 
 use crate::adam::{Adam, AdamConfig};
 use crate::features::{ControlTarget, StateFeatures, FEATURE_DIM, TARGET_DIM, WINDOW};
+use crate::lstm::LstmCache;
 use crate::model::LstmPredictor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -122,61 +123,247 @@ impl TrainReport {
     }
 }
 
-/// Full BPTT over one sample; returns the squared-error loss and
-/// accumulates gradients in the model.
-fn backprop_sample(model: &mut LstmPredictor, sample: &Sample) -> f64 {
-    // Forward with caches.
-    let mut h1 = vec![0.0; model.l1.hidden];
-    let mut c1 = vec![0.0; model.l1.hidden];
-    let mut h2 = vec![0.0; model.l2.hidden];
-    let mut c2 = vec![0.0; model.l2.hidden];
-    let mut caches1 = Vec::with_capacity(sample.window.len());
-    let mut caches2 = Vec::with_capacity(sample.window.len());
-    for x in &sample.window {
-        let (nh1, nc1, cache1) = model.l1.step(x, &h1, &c1);
-        let (nh2, nc2, cache2) = model.l2.step(&nh1, &h2, &c2);
-        caches1.push(cache1);
-        caches2.push(cache2);
-        h1 = nh1;
-        c1 = nc1;
-        h2 = nh2;
-        c2 = nc2;
+/// Per-sample gradient accumulator, one buffer per parameter tensor.
+///
+/// Workers accumulate into private `GradBuf`s and the batch reduction adds
+/// them in a fixed (sample-group) order, so gradient sums are bit-for-bit
+/// independent of the thread count.
+struct GradBuf {
+    l1w: Vec<f64>,
+    l1b: Vec<f64>,
+    l2w: Vec<f64>,
+    l2b: Vec<f64>,
+    hw: Vec<f64>,
+    hb: Vec<f64>,
+}
+
+impl GradBuf {
+    fn zeros(model: &LstmPredictor) -> Self {
+        Self {
+            l1w: vec![0.0; model.l1.gates.w.len()],
+            l1b: vec![0.0; model.l1.gates.b.len()],
+            l2w: vec![0.0; model.l2.gates.w.len()],
+            l2b: vec![0.0; model.l2.gates.b.len()],
+            hw: vec![0.0; model.head.w.len()],
+            hb: vec![0.0; model.head.b.len()],
+        }
     }
-    let y = model.head.forward(&h2);
+
+    fn zero(&mut self) {
+        for buf in [
+            &mut self.l1w,
+            &mut self.l1b,
+            &mut self.l2w,
+            &mut self.l2b,
+            &mut self.hw,
+            &mut self.hb,
+        ] {
+            buf.fill(0.0);
+        }
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        for (dst, src) in [
+            (&mut self.l1w, &other.l1w),
+            (&mut self.l1b, &other.l1b),
+            (&mut self.l2w, &other.l2w),
+            (&mut self.l2b, &other.l2b),
+            (&mut self.hw, &other.hw),
+            (&mut self.hb, &other.hb),
+        ] {
+            for (a, b) in dst.iter_mut().zip(src) {
+                *a += b;
+            }
+        }
+    }
+
+    fn scale(&mut self, s: f64) {
+        for buf in [
+            &mut self.l1w,
+            &mut self.l1b,
+            &mut self.l2w,
+            &mut self.l2b,
+            &mut self.hw,
+            &mut self.hb,
+        ] {
+            for v in buf.iter_mut() {
+                *v *= s;
+            }
+        }
+    }
+}
+
+/// Preallocated per-worker buffers for [`backprop_sample_into`]: BPTT
+/// caches, double-buffered layer states, and every gradient-flow vector.
+/// After the first sample a worker processes, the whole forward/backward
+/// pass runs without heap allocation.
+struct TrainScratch {
+    caches1: Vec<LstmCache>,
+    caches2: Vec<LstmCache>,
+    z1: Vec<f64>,
+    z2: Vec<f64>,
+    h1: Vec<f64>,
+    c1: Vec<f64>,
+    h2: Vec<f64>,
+    c2: Vec<f64>,
+    nh1: Vec<f64>,
+    nc1: Vec<f64>,
+    nh2: Vec<f64>,
+    nc2: Vec<f64>,
+    y: Vec<f64>,
+    dy: Vec<f64>,
+    dh2: Vec<f64>,
+    dc2: Vec<f64>,
+    dh2p: Vec<f64>,
+    dc2p: Vec<f64>,
+    dx2: Vec<f64>,
+    dh1_next: Vec<f64>,
+    dc1: Vec<f64>,
+    dh1p: Vec<f64>,
+    dc1p: Vec<f64>,
+    dz1: Vec<f64>,
+    dz2: Vec<f64>,
+    dx1: Vec<f64>,
+}
+
+impl TrainScratch {
+    fn new(model: &LstmPredictor) -> Self {
+        let h1 = model.l1.hidden;
+        let h2 = model.l2.hidden;
+        Self {
+            caches1: Vec::new(),
+            caches2: Vec::new(),
+            z1: vec![0.0; 4 * h1],
+            z2: vec![0.0; 4 * h2],
+            h1: vec![0.0; h1],
+            c1: vec![0.0; h1],
+            h2: vec![0.0; h2],
+            c2: vec![0.0; h2],
+            nh1: vec![0.0; h1],
+            nc1: vec![0.0; h1],
+            nh2: vec![0.0; h2],
+            nc2: vec![0.0; h2],
+            y: vec![0.0; TARGET_DIM],
+            dy: vec![0.0; TARGET_DIM],
+            dh2: vec![0.0; h2],
+            dc2: vec![0.0; h2],
+            dh2p: vec![0.0; h2],
+            dc2p: vec![0.0; h2],
+            dx2: vec![0.0; h1],
+            dh1_next: vec![0.0; h1],
+            dc1: vec![0.0; h1],
+            dh1p: vec![0.0; h1],
+            dc1p: vec![0.0; h1],
+            dz1: vec![0.0; 4 * h1],
+            dz2: vec![0.0; 4 * h2],
+            dx1: vec![0.0; model.l1.input],
+        }
+    }
+}
+
+/// Full BPTT over one sample; returns the squared-error loss and adds the
+/// sample's gradients into `grads`. Allocation-free after `scratch` warms
+/// up; numerically identical to the historical allocating implementation.
+fn backprop_sample_into(
+    model: &LstmPredictor,
+    window: &[[f64; FEATURE_DIM]],
+    target: &[f64; TARGET_DIM],
+    s: &mut TrainScratch,
+    grads: &mut GradBuf,
+) -> f64 {
+    let steps = window.len();
+    s.caches1.resize_with(steps, LstmCache::default);
+    s.caches2.resize_with(steps, LstmCache::default);
+    s.h1.fill(0.0);
+    s.c1.fill(0.0);
+    s.h2.fill(0.0);
+    s.c2.fill(0.0);
+
+    // Forward with caches.
+    for (t, x) in window.iter().enumerate() {
+        model
+            .l1
+            .step_cached(x, &s.h1, &s.c1, &mut s.z1, &mut s.caches1[t], &mut s.nh1, &mut s.nc1);
+        model.l2.step_cached(
+            &s.nh1,
+            &s.h2,
+            &s.c2,
+            &mut s.z2,
+            &mut s.caches2[t],
+            &mut s.nh2,
+            &mut s.nc2,
+        );
+        std::mem::swap(&mut s.h1, &mut s.nh1);
+        std::mem::swap(&mut s.c1, &mut s.nc1);
+        std::mem::swap(&mut s.h2, &mut s.nh2);
+        std::mem::swap(&mut s.c2, &mut s.nc2);
+    }
+    model.head.forward_into(&s.h2, &mut s.y);
 
     // MSE loss and output gradient.
     let mut loss = 0.0;
-    let mut dy = vec![0.0; TARGET_DIM];
-    for k in 0..TARGET_DIM {
-        let e = y[k] - sample.target[k];
+    for (k, t) in target.iter().enumerate() {
+        let e = s.y[k] - t;
         loss += e * e;
-        dy[k] = 2.0 * e / TARGET_DIM as f64;
+        s.dy[k] = 2.0 * e / TARGET_DIM as f64;
     }
     loss /= TARGET_DIM as f64;
 
     // Backward: head → layer 2 chain → layer 1 chain.
-    let mut dh2 = model.head.backward(&h2, &dy);
-    let mut dc2 = vec![0.0; model.l2.hidden];
-    let mut dh1_next = vec![0.0; model.l1.hidden];
-    let mut dc1 = vec![0.0; model.l1.hidden];
-    for t in (0..sample.window.len()).rev() {
-        let (dx2, dh2_prev, dc2_prev) = model.l2.step_backward(&caches2[t], &dh2, &dc2);
+    model
+        .head
+        .backward_into(&s.h2, &s.dy, &mut grads.hw, &mut grads.hb, &mut s.dh2);
+    s.dc2.fill(0.0);
+    s.dh1_next.fill(0.0);
+    s.dc1.fill(0.0);
+    for t in (0..steps).rev() {
+        model.l2.step_backward_into(
+            &s.caches2[t],
+            &s.dh2,
+            &s.dc2,
+            &mut grads.l2w,
+            &mut grads.l2b,
+            &mut s.dz2,
+            &mut s.dx2,
+            &mut s.dh2p,
+            &mut s.dc2p,
+        );
         // dx2 is the gradient w.r.t. h1(t); add any gradient flowing from
         // layer 1's own recurrence.
-        let mut dh1 = dx2;
-        for (a, b) in dh1.iter_mut().zip(&dh1_next) {
+        for (a, b) in s.dx2.iter_mut().zip(&s.dh1_next) {
             *a += b;
         }
-        let (_dx1, dh1_prev, dc1_prev) = model.l1.step_backward(&caches1[t], &dh1, &dc1);
-        dh2 = dh2_prev;
-        dc2 = dc2_prev;
-        dh1_next = dh1_prev;
-        dc1 = dc1_prev;
+        model.l1.step_backward_into(
+            &s.caches1[t],
+            &s.dx2,
+            &s.dc1,
+            &mut grads.l1w,
+            &mut grads.l1b,
+            &mut s.dz1,
+            &mut s.dx1,
+            &mut s.dh1p,
+            &mut s.dc1p,
+        );
+        std::mem::swap(&mut s.dh2, &mut s.dh2p);
+        std::mem::swap(&mut s.dc2, &mut s.dc2p);
+        std::mem::swap(&mut s.dh1_next, &mut s.dh1p);
+        std::mem::swap(&mut s.dc1, &mut s.dc1p);
     }
     loss
 }
 
+/// Samples per parallel work item. Each group is processed serially by one
+/// worker into a private [`GradBuf`]; groups are then reduced in order.
+/// Because the partition depends only on the batch contents, gradient sums
+/// are identical at any thread count.
+const GRAD_GROUP: usize = 4;
+
 /// Trains `model` in place; returns the loss trajectory.
+///
+/// Minibatch gradients are accumulated in parallel across CPU cores (work
+/// distribution via [`adas_parallel`], honouring `ADAS_THREADS`) with a
+/// thread-count-invariant reduction order, so the trained weights are
+/// deterministic for a given `(data, config)` regardless of parallelism.
 pub fn train(model: &mut LstmPredictor, data: &Dataset, config: &TrainConfig) -> TrainReport {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     let mut order: Vec<usize> = (0..data.len()).collect();
@@ -189,39 +376,83 @@ pub fn train(model: &mut LstmPredictor, data: &Dataset, config: &TrainConfig) ->
     let mut opt_hw = Adam::new(model.head.w.len(), config.adam);
     let mut opt_hb = Adam::new(model.head.b.len(), config.adam);
 
+    let mut batch_grads = GradBuf::zeros(model);
     let mut epoch_loss = Vec::with_capacity(config.epochs);
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
         let mut total = 0.0;
         for chunk in order.chunks(config.batch.max(1)) {
-            model.l1.zero_grad();
-            model.l2.zero_grad();
-            model.head.zero_grad();
-            for &idx in chunk {
-                let sample = &data.samples[idx];
-                if config.history_dropout > 0.0
-                    && rng.gen_range(0.0..1.0) < config.history_dropout
-                {
-                    // Zero the previous-command features over the whole
-                    // window so the model must read the vehicle state.
-                    let mut masked = sample.clone();
-                    for frame in &mut masked.window {
-                        frame[FEATURE_DIM - 2] = 0.0;
-                        frame[FEATURE_DIM - 1] = 0.0;
+            // Pre-draw the dropout decisions serially, in sample order, so
+            // RNG consumption is independent of worker scheduling.
+            let masked: Vec<bool> = chunk
+                .iter()
+                .map(|_| {
+                    config.history_dropout > 0.0
+                        && rng.gen_range(0.0..1.0) < config.history_dropout
+                })
+                .collect();
+            let groups: Vec<(&[usize], &[bool])> = chunk
+                .chunks(GRAD_GROUP)
+                .zip(masked.chunks(GRAD_GROUP))
+                .collect();
+
+            let shared: &LstmPredictor = model;
+            let results: Vec<(f64, GradBuf)> = adas_parallel::map_init(
+                &groups,
+                || {
+                    (
+                        TrainScratch::new(shared),
+                        Vec::<[f64; FEATURE_DIM]>::new(),
+                    )
+                },
+                |(scratch, masked_buf), _, &(idxs, masks)| {
+                    let mut grads = GradBuf::zeros(shared);
+                    let mut loss = 0.0;
+                    for (&idx, &mask) in idxs.iter().zip(masks) {
+                        let sample = &data.samples[idx];
+                        if mask {
+                            // Zero the previous-command features over the
+                            // whole window so the model must read the
+                            // vehicle state (see `history_dropout`).
+                            masked_buf.clear();
+                            masked_buf.extend_from_slice(&sample.window);
+                            for frame in masked_buf.iter_mut() {
+                                frame[FEATURE_DIM - 2] = 0.0;
+                                frame[FEATURE_DIM - 1] = 0.0;
+                            }
+                            loss += backprop_sample_into(
+                                shared,
+                                masked_buf,
+                                &sample.target,
+                                scratch,
+                                &mut grads,
+                            );
+                        } else {
+                            loss += backprop_sample_into(
+                                shared,
+                                &sample.window,
+                                &sample.target,
+                                scratch,
+                                &mut grads,
+                            );
+                        }
                     }
-                    total += backprop_sample(model, &masked);
-                } else {
-                    total += backprop_sample(model, sample);
-                }
+                    (loss, grads)
+                },
+            );
+
+            batch_grads.zero();
+            for (loss, grads) in &results {
+                total += loss;
+                batch_grads.add_assign(grads);
             }
-            let scale = 1.0 / chunk.len() as f64;
-            let scaled = |g: &[f64]| -> Vec<f64> { g.iter().map(|v| v * scale).collect() };
-            opt_l1w.step(&mut model.l1.gates.w, &scaled(&model.l1.gates.gw));
-            opt_l1b.step(&mut model.l1.gates.b, &scaled(&model.l1.gates.gb));
-            opt_l2w.step(&mut model.l2.gates.w, &scaled(&model.l2.gates.gw));
-            opt_l2b.step(&mut model.l2.gates.b, &scaled(&model.l2.gates.gb));
-            opt_hw.step(&mut model.head.w, &scaled(&model.head.gw));
-            opt_hb.step(&mut model.head.b, &scaled(&model.head.gb));
+            batch_grads.scale(1.0 / chunk.len() as f64);
+            opt_l1w.step(&mut model.l1.gates.w, &batch_grads.l1w);
+            opt_l1b.step(&mut model.l1.gates.b, &batch_grads.l1b);
+            opt_l2w.step(&mut model.l2.gates.w, &batch_grads.l2w);
+            opt_l2b.step(&mut model.l2.gates.b, &batch_grads.l2b);
+            opt_hw.step(&mut model.head.w, &batch_grads.hw);
+            opt_hb.step(&mut model.head.b, &batch_grads.hb);
         }
         epoch_loss.push(total / data.len() as f64);
     }
@@ -279,8 +510,8 @@ mod tests {
     fn short_episodes_skipped() {
         let mut data = Dataset::new();
         data.add_episode(
-            &vec![StateFeatures::default(); 10],
-            &vec![ControlTarget::default(); 10],
+            &[StateFeatures::default(); 10],
+            &[ControlTarget::default(); 10],
             1,
         );
         assert!(data.is_empty());

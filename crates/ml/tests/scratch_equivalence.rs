@@ -1,0 +1,188 @@
+//! Numeric-equivalence tests for the allocation-free hot paths.
+//!
+//! The scratch-buffer refactor (`forward_concat_into`, `step_infer`,
+//! `step_backward_into`, `step_with`) must agree with a naive allocating
+//! implementation — written out independently here — to 1e-12. The
+//! split-input (concat) variants are additionally required to be
+//! bit-identical to the materialised-concatenation path, because campaign
+//! determinism depends on it.
+
+use adas_ml::linear::{sigmoid, Linear};
+use adas_ml::lstm::Lstm;
+use adas_ml::{LstmPredictor, ModelSpec, FEATURE_DIM};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f64 = 1e-12;
+
+fn assert_close(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (k, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= TOL,
+            "{what}[{k}]: {x} vs {y} (diff {})",
+            (x - y).abs()
+        );
+    }
+}
+
+fn test_vec(len: usize, phase: f64) -> Vec<f64> {
+    (0..len)
+        .map(|k| ((k as f64) * 0.613 + phase).sin() * 1.7)
+        .collect()
+}
+
+#[test]
+fn forward_concat_is_bit_identical_to_materialised_concat() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let lin = Linear::new(7, 9, &mut rng);
+    let xa = test_vec(4, 0.2);
+    let xb = test_vec(5, 1.3);
+    let xcat: Vec<f64> = xa.iter().chain(&xb).copied().collect();
+
+    let reference = lin.forward(&xcat);
+    let mut split = vec![0.0; 7];
+    lin.forward_concat_into(&xa, &xb, &mut split);
+    for (k, (r, s)) in reference.iter().zip(&split).enumerate() {
+        assert_eq!(r.to_bits(), s.to_bits(), "row {k}: {r} vs {s}");
+    }
+}
+
+#[test]
+fn backward_concat_matches_materialised_concat() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let xa = test_vec(3, 0.4);
+    let xb = test_vec(6, 2.1);
+    let xcat: Vec<f64> = xa.iter().chain(&xb).copied().collect();
+    let dy = test_vec(5, 0.9);
+
+    // Reference: the allocating single-input path on the concatenation.
+    let mut reference = Linear::new(5, 9, &mut rng);
+    let dx_cat = reference.backward(&xcat, &dy);
+
+    // Refactored: split inputs, caller-owned gradient buffers.
+    let lin = reference.clone();
+    let mut gw = vec![0.0; 5 * 9];
+    let mut gb = vec![0.0; 5];
+    let mut dxa = vec![0.0; 3];
+    let mut dxb = vec![0.0; 6];
+    lin.backward_concat_into(&xa, &xb, &dy, &mut gw, &mut gb, &mut dxa, &mut dxb);
+
+    assert_close(&reference.gw, &gw, "gw");
+    assert_close(&reference.gb, &gb, "gb");
+    assert_close(&dx_cat[..3], &dxa, "dxa");
+    assert_close(&dx_cat[3..], &dxb, "dxb");
+}
+
+/// Naive allocating LSTM step, written from the gate equations: the
+/// concatenation is materialised and the packed gate transform applied
+/// with the plain `forward` path.
+fn naive_step(l: &Lstm, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let h = l.hidden;
+    let xh: Vec<f64> = x.iter().chain(h_prev).copied().collect();
+    let z = l.gates.forward(&xh);
+    let mut h_out = vec![0.0; h];
+    let mut c_out = vec![0.0; h];
+    for k in 0..h {
+        let i = sigmoid(z[k]);
+        let f = sigmoid(z[h + k]);
+        let g = z[2 * h + k].tanh();
+        let o = sigmoid(z[3 * h + k]);
+        c_out[k] = f * c_prev[k] + i * g;
+        h_out[k] = o * c_out[k].tanh();
+    }
+    (h_out, c_out)
+}
+
+#[test]
+fn lstm_step_variants_match_naive_reference() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let l = Lstm::new(5, 7, &mut rng);
+    let mut h = vec![0.0; 7];
+    let mut c = vec![0.0; 7];
+    let mut z = vec![0.0; 28];
+    let mut h_infer = vec![0.0; 7];
+    let mut c_infer = vec![0.0; 7];
+
+    for t in 0..30 {
+        let x = test_vec(5, t as f64 * 0.31);
+        let (h_ref, c_ref) = naive_step(&l, &x, &h, &c);
+        let (h_step, c_step, _) = l.step(&x, &h, &c);
+        l.step_infer(&x, &h, &c, &mut z, &mut h_infer, &mut c_infer);
+
+        assert_close(&h_ref, &h_step, "h: step vs naive");
+        assert_close(&c_ref, &c_step, "c: step vs naive");
+        assert_close(&h_ref, &h_infer, "h: step_infer vs naive");
+        assert_close(&c_ref, &c_infer, "c: step_infer vs naive");
+
+        h = h_step;
+        c = c_step;
+    }
+}
+
+#[test]
+fn lstm_backward_into_matches_allocating_wrapper() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut l = Lstm::new(4, 6, &mut rng);
+    let x = test_vec(4, 0.7);
+    let h_prev = test_vec(6, 1.1);
+    let c_prev = test_vec(6, 1.9);
+    let (_, _, cache) = l.step(&x, &h_prev, &c_prev);
+    let dh = test_vec(6, 2.3);
+    let dc = test_vec(6, 0.05);
+
+    // Reference: the allocating wrapper, accumulating into the layer.
+    l.zero_grad();
+    let (dx_ref, dhp_ref, dcp_ref) = l.step_backward(&cache, &dh, &dc);
+
+    // Refactored: shared `&self` kernel with caller-owned buffers.
+    let mut gw = vec![0.0; l.gates.w.len()];
+    let mut gb = vec![0.0; l.gates.b.len()];
+    let mut dz = vec![0.0; 24];
+    let mut dx = vec![0.0; 4];
+    let mut dh_prev = vec![0.0; 6];
+    let mut dc_prev = vec![0.0; 6];
+    l.step_backward_into(
+        &cache,
+        &dh,
+        &dc,
+        &mut gw,
+        &mut gb,
+        &mut dz,
+        &mut dx,
+        &mut dh_prev,
+        &mut dc_prev,
+    );
+
+    assert_close(&l.gates.gw, &gw, "gw");
+    assert_close(&l.gates.gb, &gb, "gb");
+    assert_close(&dx_ref, &dx, "dx");
+    assert_close(&dhp_ref, &dh_prev, "dh_prev");
+    assert_close(&dcp_ref, &dc_prev, "dc_prev");
+}
+
+#[test]
+fn predict_window_matches_manual_step_loop() {
+    let model = LstmPredictor::new(ModelSpec {
+        hidden1: 12,
+        hidden2: 6,
+        seed: 15,
+    });
+    let window: Vec<[f64; FEATURE_DIM]> = (0..20)
+        .map(|t| {
+            let mut x = [0.0; FEATURE_DIM];
+            for (k, v) in x.iter_mut().enumerate() {
+                *v = ((t * FEATURE_DIM + k) as f64 * 0.247).sin();
+            }
+            x
+        })
+        .collect();
+
+    let fast = model.predict_window(&window);
+    let mut state = model.init_state();
+    let mut reference = [0.0; 2];
+    for x in &window {
+        reference = model.step(x, &mut state);
+    }
+    assert_close(&reference, &fast, "predict_window vs step loop");
+}

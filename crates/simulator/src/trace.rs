@@ -90,7 +90,7 @@ impl TraceRecorder {
 
     /// Offers a sample; it is stored if the stride allows.
     pub fn record(&mut self, sample: TraceSample) {
-        if self.counter % self.stride == 0 {
+        if self.counter.is_multiple_of(self.stride) {
             self.samples.push(sample);
         }
         self.counter += 1;

@@ -7,8 +7,9 @@ use openadas::core::{
     collect_training_data, run_campaign, CellStats, InterventionConfig, PlatformConfig,
 };
 use openadas::ml::{train, LstmPredictor, ModelSpec, TrainConfig};
+use std::sync::Arc;
 
-fn tiny_trained_model() -> LstmPredictor {
+fn tiny_trained_model() -> Arc<LstmPredictor> {
     let data = collect_training_data(3, 1, 60);
     assert!(!data.is_empty(), "training data collection failed");
     let mut model = LstmPredictor::new(ModelSpec {
@@ -29,7 +30,7 @@ fn tiny_trained_model() -> LstmPredictor {
         losses.last().unwrap() <= losses.first().unwrap(),
         "training must not diverge: {losses:?}"
     );
-    model
+    Arc::new(model)
 }
 
 #[test]

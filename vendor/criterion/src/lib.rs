@@ -1,0 +1,180 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Implements a small wall-clock benchmark runner with the same API shape
+//! (`Criterion::bench_function`, benchmark groups, `iter`/`iter_batched`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros).
+//! Timings are reported as mean wall-clock per iteration on stdout; there
+//! is no statistical analysis, warm-up tuning, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work (forwarding to `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost (accepted for API fidelity; the
+/// stand-in runs one setup per routine invocation regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: u64,
+}
+
+impl Bencher {
+    fn measure<F: FnMut() -> Duration>(&mut self, mut once: F) -> (Duration, u64) {
+        // One warm-up call, then `samples` measured calls.
+        let _ = once();
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            total += once();
+        }
+        (total, self.samples)
+    }
+
+    /// Benchmarks a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let (total, n) = self.measure(|| {
+            let t0 = Instant::now();
+            black_box(routine());
+            t0.elapsed()
+        });
+        report(total, n);
+    }
+
+    /// Benchmarks a routine with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let (total, n) = self.measure(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            t0.elapsed()
+        });
+        report(total, n);
+    }
+}
+
+fn report(total: Duration, n: u64) {
+    let per_iter = total.as_secs_f64() / n as f64;
+    let formatted = if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} µs", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    };
+    println!("    time: {formatted}/iter over {n} iterations");
+}
+
+/// Top-level benchmark registry (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench: {id}");
+        let mut b = Bencher {
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("  bench: {id}");
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(self.parent.sample_size),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

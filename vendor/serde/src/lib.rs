@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! API fidelity with the paper artifact, but nothing in-tree performs
+//! serde-based (de)serialization — persistent artifacts (trained weights,
+//! cached campaign cells) use the explicit binary codecs in
+//! `adas-core::cache` and `adas-ml::model`. This crate therefore only has
+//! to provide the trait names and derive macros so the annotations compile
+//! without network access to crates.io.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

@@ -1,0 +1,138 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The real `serde_derive` generates full (de)serialization visitors; this
+//! stand-in only needs to emit marker-trait impls so `#[derive(Serialize,
+//! Deserialize)]` annotations across the workspace compile without network
+//! access. It parses the item's name and generics directly from the token
+//! stream (no `syn`/`quote` available offline).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name plus verbatim generic parameter/argument lists of the derive input.
+struct Item {
+    name: String,
+    /// `<T: Bound, 'a, const N: usize>` — declaration form (may be empty).
+    decl_generics: String,
+    /// `<T, 'a, N>` — usage form (may be empty).
+    use_generics: String,
+}
+
+/// Extracts the item name and generics from a `struct`/`enum`/`union`
+/// definition token stream.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/qualifier keywords until the
+    // `struct`/`enum`/`union` keyword.
+    let mut name = None;
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(id) = &tok {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => {
+                        name = Some(n.to_string());
+                        break;
+                    }
+                    other => panic!("derive: expected item name, got {other:?}"),
+                }
+            }
+        }
+    }
+    let name = name.expect("derive input contains no struct/enum/union keyword");
+
+    // Collect generics if the next token is `<` — accumulate verbatim until
+    // the matching `>` at depth 0.
+    let mut decl = String::new();
+    let mut params: Vec<String> = Vec::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let _ = tokens.next();
+        let mut depth = 1usize;
+        let mut current = String::new();
+        let mut in_bound = false;
+        for tok in tokens.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => in_bound = true,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    if !current.is_empty() {
+                        params.push(current.clone());
+                    }
+                    current.clear();
+                    in_bound = false;
+                    decl.push(',');
+                    continue;
+                }
+                _ => {}
+            }
+            if depth >= 1 {
+                decl.push_str(&tok.to_string());
+                decl.push(' ');
+                if !in_bound && depth == 1 {
+                    // Parameter names: idents / lifetimes before any `:`.
+                    match &tok {
+                        TokenTree::Ident(id) if id.to_string() != "const" => {
+                            if !current.is_empty() {
+                                current.push(' ');
+                            }
+                            current.push_str(&id.to_string());
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '\'' => current.push('\''),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if !current.is_empty() {
+            params.push(current);
+        }
+    }
+
+    let (decl_generics, use_generics) = if decl.is_empty() {
+        (String::new(), String::new())
+    } else {
+        (format!("<{decl}>"), format!("<{}>", params.join(",")))
+    };
+    Item {
+        name,
+        decl_generics,
+        use_generics,
+    }
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "impl {dg} serde::Serialize for {name} {ug} {{}}",
+        dg = item.decl_generics,
+        name = item.name,
+        ug = item.use_generics,
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let dg = if item.decl_generics.is_empty() {
+        "<'de>".to_owned()
+    } else {
+        format!("<'de, {}", &item.decl_generics[1..])
+    };
+    format!(
+        "impl {dg} serde::Deserialize<'de> for {name} {ug} {{}}",
+        name = item.name,
+        ug = item.use_generics,
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
