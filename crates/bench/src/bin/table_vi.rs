@@ -5,6 +5,13 @@
 //!
 //! Usage: `table_vi [reps]` (default 10 repetitions per scenario×position;
 //! pass a smaller number for a quick look).
+//!
+//! Set `ADAS_TRACE=hazard` (or `all`) to run the campaign through the
+//! flight recorder: every run is captured, and traces matching the
+//! persistence policy are written under `ADAS_TRACE_DIR`
+//! (default `results/traces`). Tracing bypasses the cell-stats cache read
+//! (a cache hit would skip the runs and record nothing) but still stores
+//! the freshly computed stats for later untraced invocations.
 
 use adas_attack::FaultType;
 use adas_bench::{
@@ -12,16 +19,26 @@ use adas_bench::{
     PhaseTimer, CAMPAIGN_SEED,
 };
 use adas_core::{
-    campaign_cell_fingerprint, cell_stats_cached, fmt_opt_time, run_campaign, ArtifactCache,
-    CellStats, InterventionConfig, PlatformConfig, TextTable,
+    campaign_cell_fingerprint, cell_stats_cached, fmt_opt_time, run_campaign,
+    run_campaign_traced, ArtifactCache, CellStats, InterventionConfig, PlatformConfig, TextTable,
+    TraceSink,
 };
 use adas_ml::ModelSpec;
+use adas_recorder::RecordMode;
 use std::sync::Arc;
 
 fn main() {
     let reps = reps_from_args();
     let cache = ArtifactCache::from_env();
+    let sink = TraceSink::from_env();
     let mut timer = PhaseTimer::new();
+    if sink.enabled() {
+        println!(
+            "flight recorder: {:?} mode, persisting to {}",
+            sink.policy().mode,
+            sink.policy().dir.display()
+        );
+    }
 
     timer.phase("train");
     let model = Arc::new(trained_baseline_cached(
@@ -64,12 +81,29 @@ fn main() {
                 CAMPAIGN_SEED,
                 reps,
             );
-            let s = cell_stats_cached(&cache, key, || {
+            let s = if sink.enabled() {
                 let ml = iv.ml.then_some(&model);
-                let records = run_campaign(Some(fault), &cfg, ml, CAMPAIGN_SEED, reps);
+                let records = run_campaign_traced(
+                    Some(fault),
+                    &cfg,
+                    ml,
+                    if iv.ml { model_fp.value() } else { 0 },
+                    CAMPAIGN_SEED,
+                    reps,
+                    &sink,
+                );
                 timer.add_runs(records.len() as u64);
-                CellStats::from_records(records.iter().map(|(_, r)| r))
-            });
+                let s = CellStats::from_records(records.iter().map(|(_, r)| r));
+                cache.store("cell", key, &s.to_bytes());
+                s
+            } else {
+                cell_stats_cached(&cache, key, || {
+                    let ml = iv.ml.then_some(&model);
+                    let records = run_campaign(Some(fault), &cfg, ml, CAMPAIGN_SEED, reps);
+                    timer.add_runs(records.len() as u64);
+                    CellStats::from_records(records.iter().map(|(_, r)| r))
+                })
+            };
             let reference = paper::TABLE_VI
                 .iter()
                 .find(|(f, row, ..)| *f == fault.label() && *row == iv.label())
@@ -114,5 +148,20 @@ fn main() {
 
     timer.phase("emit");
     write_results_file("table_vi.csv", &csv);
+    if sink.enabled() {
+        let mode = match sink.policy().record_mode {
+            RecordMode::Full => format!("{:?}", sink.policy().mode).to_lowercase(),
+            RecordMode::Ring(n) => {
+                format!("{:?}+ring{n}", sink.policy().mode).to_lowercase()
+            }
+        };
+        timer.set_trace_info(&mode, sink.recorded(), sink.persisted());
+        println!(
+            "flight recorder: {} runs recorded, {} traces persisted, {} errors",
+            sink.recorded(),
+            sink.persisted(),
+            sink.errors()
+        );
+    }
     timer.finish(&cache);
 }

@@ -119,6 +119,7 @@ pub struct PhaseTimer {
     phases: Vec<(String, f64)>,
     current: Option<(String, Instant)>,
     executed_runs: u64,
+    trace: Option<(String, u64, u64)>,
 }
 
 impl PhaseTimer {
@@ -130,7 +131,16 @@ impl PhaseTimer {
             phases: Vec::new(),
             current: None,
             executed_runs: 0,
+            trace: None,
         }
+    }
+
+    /// Records flight-recorder activity for the emitted JSON: the policy
+    /// mode label plus how many runs were recorded and how many traces were
+    /// persisted. Together with `total_wall_s` from a traced vs. untraced
+    /// invocation this documents the recording overhead.
+    pub fn set_trace_info(&mut self, mode: &str, runs_recorded: u64, traces_persisted: u64) {
+        self.trace = Some((mode.to_owned(), runs_recorded, traces_persisted));
     }
 
     fn close_current(&mut self) {
@@ -177,6 +187,12 @@ impl PhaseTimer {
             stats.misses,
             stats.writes
         ));
+        if let Some((mode, recorded, persisted)) = &self.trace {
+            json.push_str(&format!(
+                "  \"trace\": {{ \"mode\": \"{mode}\", \"runs_recorded\": {recorded}, \
+                 \"traces_persisted\": {persisted} }},\n"
+            ));
+        }
         json.push_str("  \"phases\": [\n");
         let n = self.phases.len();
         for (i, (name, secs)) in self.phases.iter().enumerate() {

@@ -201,15 +201,18 @@ impl CellStats {
     }
 }
 
-/// Magic + version prefix for the [`CellStats`] cache codec.
-const CELL_MAGIC: &[u8] = b"ADASCELL\x01";
+/// Magic + version prefix for the [`CellStats`] cache codec. Version 2
+/// appends a trailing FNV-1a checksum over everything before it, so a
+/// bit-flipped cache entry is rejected (cache miss) instead of silently
+/// yielding wrong statistics.
+const CELL_MAGIC: &[u8] = b"ADASCELL\x02";
 
 impl CellStats {
     /// Serialises to the artifact-cache binary format (little-endian,
-    /// fixed layout).
+    /// fixed layout, trailing whole-entry checksum).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(CELL_MAGIC.len() + 8 + 11 * 8 + 3);
+        let mut out = Vec::with_capacity(CELL_MAGIC.len() + 8 + 11 * 8 + 3 + 8);
         out.extend_from_slice(CELL_MAGIC);
         out.extend_from_slice(&(self.runs as u64).to_le_bytes());
         for v in [self.a1_pct, self.a2_pct, self.prevented_pct, self.hazard_pct] {
@@ -231,14 +234,23 @@ impl CellStats {
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        let checksum = Fingerprint::new().write_bytes(&out).value();
+        out.extend_from_slice(&checksum.to_le_bytes());
         out
     }
 
     /// Parses [`Self::to_bytes`] output; `None` on any structural mismatch
-    /// (callers treat that as a cache miss).
+    /// or checksum failure (callers treat that as a cache miss).
     #[must_use]
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        let rest = bytes.strip_prefix(CELL_MAGIC)?;
+        // Verify the trailing checksum before trusting any field.
+        let body_len = bytes.len().checked_sub(8)?;
+        let (body, stored) = bytes.split_at(body_len);
+        let stored = u64::from_le_bytes(stored.try_into().ok()?);
+        if Fingerprint::new().write_bytes(body).value() != stored {
+            return None;
+        }
+        let rest = body.strip_prefix(CELL_MAGIC)?;
         let expected = 8 + 4 * 8 + 3 * 9 + 4 * 8;
         if rest.len() != expected {
             return None;

@@ -35,6 +35,7 @@ pub mod cache;
 pub mod config;
 pub mod experiment;
 pub mod platform;
+pub mod replay;
 pub mod tables;
 
 /// Deterministic work-stealing executor (re-export of [`adas_parallel`]):
@@ -48,4 +49,8 @@ pub use experiment::{
     run_campaign, run_single, CellStats, RunId,
 };
 pub use platform::{Platform, RunEnd, RunEnd2};
+pub use replay::{
+    config_fingerprint, replay_trace, run_campaign_traced, run_single_traced, run_traced,
+    trace_header, Perturbation, ReplayError, ReplayReport, TraceSink,
+};
 pub use tables::{fmt_opt_time, fmt_pct, TextTable};

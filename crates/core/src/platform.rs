@@ -22,6 +22,7 @@ use adas_safety::{
     arbitrate, Aebs, AebsConfig, AebsMode, ArbiterInputs, CommandSource, DriverConfig,
     DriverInputs, DriverModel, Ldw, LdwConfig, SafetyCheck, SafetyCheckConfig,
 };
+use adas_recorder::TraceWriter;
 use adas_scenarios::{HazardMonitor, RunMetrics, RunRecord, ScenarioSetup};
 use adas_simulator::{
     DeterministicRng, TraceRecorder, TraceSample, World, WorldConfig,
@@ -55,6 +56,7 @@ pub struct Platform {
     hazards: HazardMonitor,
     metrics: RunMetrics,
     trace: Option<TraceRecorder>,
+    writer: Option<TraceWriter>,
     last_executed: ControlTarget,
     stationary_steps: usize,
     steps_run: usize,
@@ -108,6 +110,7 @@ impl Platform {
             hazards: HazardMonitor::new(config.hazards),
             metrics: RunMetrics::new(),
             trace: None,
+            writer: None,
             last_executed: ControlTarget::default(),
             stationary_steps: 0,
             steps_run: 0,
@@ -122,6 +125,18 @@ impl Platform {
     /// Takes the trace recorder back after a run.
     pub fn take_trace(&mut self) -> Option<TraceRecorder> {
         self.trace.take()
+    }
+
+    /// Attaches a flight-recorder writer that is fed directly from the
+    /// step loop — the zero-copy capture path: samples go straight into
+    /// the writer (events derived online) with no intermediate buffer.
+    pub fn attach_writer(&mut self, writer: TraceWriter) {
+        self.writer = Some(writer);
+    }
+
+    /// Takes the flight-recorder writer back after a run.
+    pub fn take_writer(&mut self) -> Option<TraceWriter> {
+        self.writer.take()
     }
 
     /// The simulated world (read access for examples/tests).
@@ -260,9 +275,9 @@ impl Platform {
             true_line_dist,
         );
 
-        if let Some(trace) = self.trace.as_mut() {
+        if self.trace.is_some() || self.writer.is_some() {
             let st = self.world.ego().state();
-            trace.record(TraceSample {
+            let sample = TraceSample {
                 time,
                 ego_s: st.s,
                 ego_d: st.d,
@@ -273,7 +288,7 @@ impl Platform {
                 steer: arb.command.steer,
                 true_rd: truth.map_or(f64::INFINITY, |o| o.distance),
                 perceived_rd: frame.lead.map_or(f64::INFINITY, |l| l.distance),
-                lead_v: truth.map_or(0.0, |o| o.lead_speed),
+                lead_v: truth.map_or(f64::NAN, |o| o.lead_speed),
                 lane_line_distance: true_line_dist,
                 ttc: truth.map_or(f64::INFINITY, |o| o.ttc()),
                 fcw_alert: aeb_out.fcw_alert,
@@ -282,7 +297,13 @@ impl Platform {
                 driver_steering: driver_action.steer.is_some(),
                 ml_active: ml_cmd.is_some(),
                 fault_active,
-            });
+            };
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(sample);
+            }
+            if let Some(writer) = self.writer.as_mut() {
+                writer.record(sample);
+            }
         }
 
         if self.world.ego().state().v < 0.05 {

@@ -33,7 +33,10 @@ pub struct StateFeatures {
     pub ego_speed: f64,
     /// Relative distance to the lead, metres (`f64::INFINITY` when none).
     pub lead_distance: f64,
-    /// Closing speed, m/s (0 when no lead).
+    /// Closing speed, m/s (0 or `f64::NAN` when no lead; [`encode`] treats
+    /// any non-finite value as "no closing motion").
+    ///
+    /// [`encode`]: StateFeatures::encode
     pub closing_speed: f64,
     /// Distance to the left lane line, metres.
     pub left_line: f64,
@@ -50,6 +53,18 @@ pub struct StateFeatures {
     pub prev_steer: f64,
 }
 
+/// Normalises and clamps one feature; non-finite inputs (a NaN "no lead"
+/// channel, an infinite distance) map to `fallback` instead of poisoning
+/// the window — `f64::clamp` propagates NaN, and one NaN feature would
+/// zero out every LSTM gate downstream.
+fn norm(value: f64, scale: f64, fallback: f64) -> f64 {
+    if value.is_finite() {
+        (value / scale).clamp(-2.0, 2.0)
+    } else {
+        fallback
+    }
+}
+
 impl StateFeatures {
     /// Encodes into the model's normalised feature vector.
     #[must_use]
@@ -57,18 +72,19 @@ impl StateFeatures {
         let rd = if self.lead_distance.is_finite() {
             (self.lead_distance / RD_SCALE).min(1.5)
         } else {
+            // No lead (or sensor dropout): saturate at the far horizon.
             1.5
         };
         [
-            self.ego_speed / V_SCALE,
+            norm(self.ego_speed, V_SCALE, 0.0),
             rd,
-            (self.closing_speed / RS_SCALE).clamp(-2.0, 2.0),
-            self.left_line / LINE_SCALE,
-            self.right_line / LINE_SCALE,
-            (self.curvature / KAPPA_SCALE).clamp(-2.0, 2.0),
-            (self.heading / 0.2).clamp(-2.0, 2.0),
-            (self.prev_accel / ACCEL_SCALE).clamp(-2.0, 2.0),
-            (self.prev_steer / STEER_SCALE).clamp(-2.0, 2.0),
+            norm(self.closing_speed, RS_SCALE, 0.0),
+            norm(self.left_line, LINE_SCALE, 2.0),
+            norm(self.right_line, LINE_SCALE, 2.0),
+            norm(self.curvature, KAPPA_SCALE, 0.0),
+            norm(self.heading, 0.2, 0.0),
+            norm(self.prev_accel, ACCEL_SCALE, 0.0),
+            norm(self.prev_steer, STEER_SCALE, 0.0),
         ]
     }
 }
@@ -142,6 +158,48 @@ mod tests {
             ..StateFeatures::default()
         };
         assert_eq!(f.encode()[1], 1.5);
+    }
+
+    #[test]
+    fn non_finite_channels_never_poison_the_vector() {
+        // "No lead" reported as NaN (the trace convention) or INFINITY
+        // must yield a fully finite feature vector — one NaN here would
+        // propagate through every LSTM gate downstream.
+        let f = StateFeatures {
+            ego_speed: 25.0,
+            lead_distance: f64::NAN,
+            closing_speed: f64::NAN,
+            left_line: f64::NEG_INFINITY,
+            right_line: f64::INFINITY,
+            curvature: f64::NAN,
+            heading: 0.0,
+            prev_accel: 0.0,
+            prev_steer: f64::NAN,
+        };
+        let e = f.encode();
+        assert!(e.iter().all(|v| v.is_finite()), "{e:?}");
+        assert_eq!(e[2], 0.0, "NaN closing speed reads as no closing motion");
+    }
+
+    #[test]
+    fn in_range_values_unchanged_by_sanitisation() {
+        // The NaN guards must be bit-transparent for ordinary inputs —
+        // cached datasets/models are fingerprinted over these encodings.
+        let f = StateFeatures {
+            ego_speed: 22.0,
+            lead_distance: 55.0,
+            closing_speed: 9.0,
+            left_line: 1.75,
+            right_line: 1.75,
+            curvature: 0.002,
+            heading: 0.01,
+            prev_accel: -2.0,
+            prev_steer: 0.01,
+        };
+        let e = f.encode();
+        assert_eq!(e[0], 22.0 / 30.0);
+        assert_eq!(e[2], 9.0 / 15.0);
+        assert_eq!(e[3], 1.75 / 2.0);
     }
 
     #[test]

@@ -1,0 +1,567 @@
+//! The on-disk trace format: primitives, header codec, and checksum.
+//!
+//! A trace file is a single little-endian binary blob:
+//!
+//! ```text
+//! magic "ADASTRC" + schema version (8 bytes)
+//! header          (run identity, config/model fingerprints, record mode)
+//! n_samples × fixed-width step records (13 × f64 + 1 flag byte)
+//! n_events  × event records            (f64 time + kind byte + f64 value)
+//! outcome footer  (end reason, accident, summary metrics)
+//! FNV-1a checksum over everything above (8 bytes)
+//! ```
+//!
+//! Every enum is encoded through an explicit stable wire code — never
+//! through `as`-casts of Rust discriminants — so reordering a Rust enum can
+//! not silently change the format. Decoding is total: any structural
+//! mismatch returns a [`TraceError`] instead of panicking, so a damaged
+//! trace file can never take down a harness.
+
+use adas_attack::FaultType;
+use adas_safety::AebsMode;
+use adas_scenarios::{AccidentKind, InitialPosition, ScenarioId};
+use adas_simulator::{FrictionCondition, TraceSample};
+
+/// Magic prefix + schema version byte. Bump the last byte on any layout
+/// change; old files then fail with [`TraceError::BadMagic`] instead of
+/// decoding to garbage.
+pub const TRACE_MAGIC: &[u8; 8] = b"ADASTRC\x01";
+
+/// FNV-1a offset basis (shared constant of the workspace's fingerprinting).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a checksum over the serialised trace bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// A fresh checksum.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Feeds bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current 64-bit value.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Why a trace failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The magic/version prefix did not match [`TRACE_MAGIC`].
+    BadMagic,
+    /// The blob ended before the declared structure did.
+    Truncated {
+        /// Byte offset at which more data was expected.
+        at: usize,
+        /// How many more bytes were needed.
+        needed: usize,
+    },
+    /// An enum wire code was out of range.
+    BadCode {
+        /// Which field carried the bad code.
+        field: &'static str,
+        /// The offending value.
+        code: u8,
+    },
+    /// The stored checksum did not match the recomputed one (bit rot,
+    /// truncation at a record boundary, or a tampered file).
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// Trailing bytes after the checksum.
+    TrailingBytes(usize),
+    /// The file could not be read at all.
+    Io(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a trace file (bad magic/version)"),
+            TraceError::Truncated { at, needed } => {
+                write!(f, "truncated trace: needed {needed} more bytes at offset {at}")
+            }
+            TraceError::BadCode { field, code } => {
+                write!(f, "invalid wire code {code} for {field}")
+            }
+            TraceError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+            TraceError::TrailingBytes(n) => write!(f, "{n} trailing bytes after checksum"),
+            TraceError::Io(e) => write!(f, "cannot read trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Little-endian byte writer (plain `Vec` sugar, kept symmetrical with
+/// [`Cursor`]).
+#[derive(Debug, Default)]
+pub struct ByteSink {
+    buf: Vec<u8>,
+}
+
+impl ByteSink {
+    /// A sink with preallocated capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` by bit pattern (NaN round-trips exactly).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends an optional time as tag byte + `f64`.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        self.u8(u8::from(v.is_some()));
+        self.f64(v.unwrap_or(0.0));
+    }
+
+    /// The accumulated bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current offset.
+    #[must_use]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.remaining() < n {
+            return Err(TraceError::Truncated {
+                at: self.pos,
+                needed: n - self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, TraceError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an optional value written by [`ByteSink::opt_f64`].
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, TraceError> {
+        let tag = self.u8()?;
+        let v = self.f64()?;
+        Ok((tag != 0).then_some(v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stable wire codes for the workspace enums the header references.
+// ---------------------------------------------------------------------------
+
+/// Encodes a fault type (`None` = benign run).
+#[must_use]
+pub fn fault_code(fault: Option<FaultType>) -> u8 {
+    match fault {
+        None => 0,
+        Some(FaultType::RelativeDistance) => 1,
+        Some(FaultType::DesiredCurvature) => 2,
+        Some(FaultType::Mixed) => 3,
+    }
+}
+
+/// Decodes [`fault_code`].
+pub fn fault_from_code(code: u8) -> Result<Option<FaultType>, TraceError> {
+    match code {
+        0 => Ok(None),
+        1 => Ok(Some(FaultType::RelativeDistance)),
+        2 => Ok(Some(FaultType::DesiredCurvature)),
+        3 => Ok(Some(FaultType::Mixed)),
+        _ => Err(TraceError::BadCode {
+            field: "fault_type",
+            code,
+        }),
+    }
+}
+
+/// Encodes a scenario id.
+#[must_use]
+pub fn scenario_code(id: ScenarioId) -> u8 {
+    u8::try_from(id.index()).expect("six scenarios")
+}
+
+/// Decodes [`scenario_code`].
+pub fn scenario_from_code(code: u8) -> Result<ScenarioId, TraceError> {
+    ScenarioId::ALL
+        .get(usize::from(code))
+        .copied()
+        .ok_or(TraceError::BadCode {
+            field: "scenario",
+            code,
+        })
+}
+
+/// Encodes an initial position.
+#[must_use]
+pub fn position_code(p: InitialPosition) -> u8 {
+    u8::try_from(p.index()).expect("two positions")
+}
+
+/// Decodes [`position_code`].
+pub fn position_from_code(code: u8) -> Result<InitialPosition, TraceError> {
+    InitialPosition::ALL
+        .get(usize::from(code))
+        .copied()
+        .ok_or(TraceError::BadCode {
+            field: "position",
+            code,
+        })
+}
+
+/// Encodes an AEBS mode.
+#[must_use]
+pub fn aebs_code(mode: AebsMode) -> u8 {
+    match mode {
+        AebsMode::Disabled => 0,
+        AebsMode::Compromised => 1,
+        AebsMode::Independent => 2,
+    }
+}
+
+/// Decodes [`aebs_code`].
+pub fn aebs_from_code(code: u8) -> Result<AebsMode, TraceError> {
+    match code {
+        0 => Ok(AebsMode::Disabled),
+        1 => Ok(AebsMode::Compromised),
+        2 => Ok(AebsMode::Independent),
+        _ => Err(TraceError::BadCode {
+            field: "aebs_mode",
+            code,
+        }),
+    }
+}
+
+/// Encodes a friction condition (code + custom scale payload).
+#[must_use]
+pub fn friction_code(f: FrictionCondition) -> (u8, f64) {
+    match f {
+        FrictionCondition::Default => (0, 0.0),
+        FrictionCondition::Off25 => (1, 0.0),
+        FrictionCondition::Off50 => (2, 0.0),
+        FrictionCondition::Off75 => (3, 0.0),
+        FrictionCondition::Custom(s) => (4, s),
+    }
+}
+
+/// Decodes [`friction_code`].
+pub fn friction_from_code(code: u8, custom: f64) -> Result<FrictionCondition, TraceError> {
+    match code {
+        0 => Ok(FrictionCondition::Default),
+        1 => Ok(FrictionCondition::Off25),
+        2 => Ok(FrictionCondition::Off50),
+        3 => Ok(FrictionCondition::Off75),
+        4 => Ok(FrictionCondition::Custom(custom)),
+        _ => Err(TraceError::BadCode {
+            field: "friction",
+            code,
+        }),
+    }
+}
+
+/// Encodes an accident kind (`None` = no accident).
+#[must_use]
+pub fn accident_code(kind: Option<AccidentKind>) -> u8 {
+    match kind {
+        None => 0,
+        Some(AccidentKind::ForwardCollision) => 1,
+        Some(AccidentKind::LaneViolation) => 2,
+    }
+}
+
+/// Decodes [`accident_code`].
+pub fn accident_from_code(code: u8) -> Result<Option<AccidentKind>, TraceError> {
+    match code {
+        0 => Ok(None),
+        1 => Ok(Some(AccidentKind::ForwardCollision)),
+        2 => Ok(Some(AccidentKind::LaneViolation)),
+        _ => Err(TraceError::BadCode {
+            field: "accident",
+            code,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Step-record codec.
+// ---------------------------------------------------------------------------
+
+/// Serialised size of one step record, bytes: 13 `f64` fields + 1 flag byte.
+pub const SAMPLE_WIRE_SIZE: usize = 13 * 8 + 1;
+
+/// Encodes one [`TraceSample`] as a fixed-width record.
+pub fn encode_sample(sink: &mut ByteSink, s: &TraceSample) {
+    for v in [
+        s.time,
+        s.ego_s,
+        s.ego_d,
+        s.ego_v,
+        s.ego_accel,
+        s.gas,
+        s.brake,
+        s.steer,
+        s.true_rd,
+        s.perceived_rd,
+        s.lead_v,
+        s.lane_line_distance,
+        s.ttc,
+    ] {
+        sink.f64(v);
+    }
+    let mut flags = 0u8;
+    for (bit, on) in [
+        s.fcw_alert,
+        s.aeb_active,
+        s.driver_braking,
+        s.driver_steering,
+        s.ml_active,
+        s.fault_active,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if on {
+            flags |= 1 << bit;
+        }
+    }
+    sink.u8(flags);
+}
+
+/// Decodes one step record.
+pub fn decode_sample(cur: &mut Cursor<'_>) -> Result<TraceSample, TraceError> {
+    let mut f = || cur.f64();
+    let time = f()?;
+    let ego_s = f()?;
+    let ego_d = f()?;
+    let ego_v = f()?;
+    let ego_accel = f()?;
+    let gas = f()?;
+    let brake = f()?;
+    let steer = f()?;
+    let true_rd = f()?;
+    let perceived_rd = f()?;
+    let lead_v = f()?;
+    let lane_line_distance = f()?;
+    let ttc = f()?;
+    let flags = cur.u8()?;
+    if flags & !0b11_1111 != 0 {
+        return Err(TraceError::BadCode {
+            field: "sample_flags",
+            code: flags,
+        });
+    }
+    Ok(TraceSample {
+        time,
+        ego_s,
+        ego_d,
+        ego_v,
+        ego_accel,
+        gas,
+        brake,
+        steer,
+        true_rd,
+        perceived_rd,
+        lead_v,
+        lane_line_distance,
+        ttc,
+        fcw_alert: flags & 1 != 0,
+        aeb_active: flags & 2 != 0,
+        driver_braking: flags & 4 != 0,
+        driver_steering: flags & 8 != 0,
+        ml_active: flags & 16 != 0,
+        fault_active: flags & 32 != 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_matches_fnv_reference() {
+        let mut c = Checksum::new();
+        c.update(b"adas");
+        let mut reference = FNV_OFFSET;
+        for &b in b"adas" {
+            reference = (reference ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        assert_eq!(c.value(), reference);
+    }
+
+    #[test]
+    fn sample_round_trip_preserves_nan_bits() {
+        let s = TraceSample {
+            time: 1.23,
+            lead_v: f64::NAN,
+            true_rd: f64::INFINITY,
+            aeb_active: true,
+            fault_active: true,
+            ..TraceSample::default()
+        };
+        let mut sink = ByteSink::default();
+        encode_sample(&mut sink, &s);
+        let bytes = sink.into_bytes();
+        assert_eq!(bytes.len(), SAMPLE_WIRE_SIZE);
+        let mut cur = Cursor::new(&bytes);
+        let d = decode_sample(&mut cur).unwrap();
+        assert_eq!(d.time.to_bits(), s.time.to_bits());
+        assert_eq!(d.lead_v.to_bits(), s.lead_v.to_bits());
+        assert!(d.true_rd.is_infinite());
+        assert!(d.aeb_active && d.fault_active && !d.ml_active);
+    }
+
+    #[test]
+    fn truncated_sample_is_an_error_not_a_panic() {
+        let mut sink = ByteSink::default();
+        encode_sample(&mut sink, &TraceSample::default());
+        let bytes = sink.into_bytes();
+        let mut cur = Cursor::new(&bytes[..bytes.len() - 3]);
+        assert!(matches!(
+            decode_sample(&mut cur),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn enum_codes_round_trip() {
+        for fault in [None, Some(FaultType::RelativeDistance), Some(FaultType::Mixed)] {
+            assert_eq!(fault_from_code(fault_code(fault)).unwrap(), fault);
+        }
+        assert!(fault_from_code(200).is_err());
+        for id in ScenarioId::ALL {
+            assert_eq!(scenario_from_code(scenario_code(id)).unwrap(), id);
+        }
+        for p in InitialPosition::ALL {
+            assert_eq!(position_from_code(position_code(p)).unwrap(), p);
+        }
+        for m in [AebsMode::Disabled, AebsMode::Compromised, AebsMode::Independent] {
+            assert_eq!(aebs_from_code(aebs_code(m)).unwrap(), m);
+        }
+        let (c, s) = friction_code(FrictionCondition::Custom(0.4));
+        assert_eq!(
+            friction_from_code(c, s).unwrap(),
+            FrictionCondition::Custom(0.4)
+        );
+        for a in [None, Some(AccidentKind::ForwardCollision), Some(AccidentKind::LaneViolation)] {
+            assert_eq!(accident_from_code(accident_code(a)).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn invalid_flag_bits_rejected() {
+        let mut sink = ByteSink::default();
+        encode_sample(&mut sink, &TraceSample::default());
+        let mut bytes = sink.into_bytes();
+        *bytes.last_mut().unwrap() = 0x80;
+        let mut cur = Cursor::new(&bytes);
+        assert!(matches!(
+            decode_sample(&mut cur),
+            Err(TraceError::BadCode { field: "sample_flags", .. })
+        ));
+    }
+}

@@ -1,0 +1,628 @@
+//! The in-memory trace and its file codec.
+
+use crate::format::{
+    accident_code, accident_from_code, aebs_code, aebs_from_code, decode_sample, encode_sample,
+    fault_code, fault_from_code, friction_code, friction_from_code, position_code,
+    position_from_code, scenario_code, scenario_from_code, ByteSink, Checksum, Cursor, TraceError,
+    SAMPLE_WIRE_SIZE, TRACE_MAGIC,
+};
+use adas_attack::FaultType;
+use adas_safety::{AebsMode, InterventionKind};
+use adas_scenarios::{AccidentKind, InitialPosition, ScenarioId};
+use adas_simulator::TraceSample;
+use std::path::{Path, PathBuf};
+
+/// Which safety interventions were active for the recorded run — the
+/// replay-relevant projection of the platform's intervention configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterventionSummary {
+    /// Human-driver reaction simulator enabled.
+    pub driver: bool,
+    /// Driver reaction time, seconds.
+    pub driver_reaction_time: f64,
+    /// Firmware safety checking enabled.
+    pub safety_check: bool,
+    /// AEBS data-source configuration.
+    pub aebs: AebsMode,
+    /// ML mitigation enabled.
+    pub ml: bool,
+}
+
+/// Everything needed to re-execute the recorded run and to verify the
+/// reconstruction matches what actually ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHeader {
+    /// Driving scenario.
+    pub scenario: ScenarioId,
+    /// Initial position / road pairing.
+    pub position: InitialPosition,
+    /// Repetition index within the campaign sweep.
+    pub repetition: u32,
+    /// Injected fault type (`None` for benign runs).
+    pub fault: Option<FaultType>,
+    /// Campaign seed the run's RNG streams derive from.
+    pub campaign_seed: u64,
+    /// Fingerprint of the full `PlatformConfig` the run executed under.
+    /// Replay reconstructs the config from the fields below plus defaults
+    /// and refuses to run if the fingerprints disagree.
+    pub config_fingerprint: u64,
+    /// Fingerprint of the trained ML model's weights (0 when the run used
+    /// no model). Replay must be given a model with the same fingerprint.
+    pub model_fingerprint: u64,
+    /// Active interventions.
+    pub interventions: InterventionSummary,
+    /// Road-surface friction condition.
+    pub friction: adas_simulator::FrictionCondition,
+    /// Configured step limit.
+    pub max_steps: u64,
+    /// Configured quiescence early-stop threshold (steps; 0 = disabled).
+    pub quiescence_steps: u64,
+    /// Step index of the first retained sample (> 0 when a bounded ring
+    /// buffer dropped the beginning of a long run).
+    pub first_step: u64,
+}
+
+/// A discrete event derived from the step stream: an intervention or fault
+/// channel switching on or off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Context value at the moment of the event (TTC for longitudinal
+    /// events, lane-line distance for lateral ones, 0 otherwise).
+    pub value: f64,
+}
+
+/// Event vocabulary: each intervention/fault channel has an on and an off
+/// edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Fault injection started perturbing frames.
+    FaultOn,
+    /// Fault injection stopped.
+    FaultOff,
+    /// An intervention channel engaged.
+    InterventionOn(InterventionKind),
+    /// An intervention channel released.
+    InterventionOff(InterventionKind),
+}
+
+impl EventKind {
+    /// Stable wire code. Faults use 0/1; interventions use
+    /// `2 + 2·kind + off`.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            EventKind::FaultOn => 0,
+            EventKind::FaultOff => 1,
+            EventKind::InterventionOn(k) => 2 + 2 * k.code(),
+            EventKind::InterventionOff(k) => 3 + 2 * k.code(),
+        }
+    }
+
+    /// Inverse of [`Self::code`].
+    pub fn from_code(code: u8) -> Result<Self, TraceError> {
+        match code {
+            0 => Ok(EventKind::FaultOn),
+            1 => Ok(EventKind::FaultOff),
+            _ => {
+                let kind = InterventionKind::from_code((code - 2) / 2).ok_or(
+                    TraceError::BadCode {
+                        field: "event_kind",
+                        code,
+                    },
+                )?;
+                Ok(if (code - 2).is_multiple_of(2) {
+                    EventKind::InterventionOn(kind)
+                } else {
+                    EventKind::InterventionOff(kind)
+                })
+            }
+        }
+    }
+
+    /// Human-readable label for timelines.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            EventKind::FaultOn => "fault injection ON".to_owned(),
+            EventKind::FaultOff => "fault injection off".to_owned(),
+            EventKind::InterventionOn(k) => format!("{} ON", k.label()),
+            EventKind::InterventionOff(k) => format!("{} off", k.label()),
+        }
+    }
+}
+
+/// How the recorded run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndReason {
+    /// Ran the full configured number of steps.
+    TimeLimit,
+    /// An accident latched.
+    Accident,
+    /// The ego came to a lasting stop.
+    Quiescent,
+}
+
+impl EndReason {
+    /// Stable wire code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            EndReason::TimeLimit => 0,
+            EndReason::Accident => 1,
+            EndReason::Quiescent => 2,
+        }
+    }
+
+    /// Inverse of [`Self::code`].
+    pub fn from_code(code: u8) -> Result<Self, TraceError> {
+        match code {
+            0 => Ok(EndReason::TimeLimit),
+            1 => Ok(EndReason::Accident),
+            2 => Ok(EndReason::Quiescent),
+            _ => Err(TraceError::BadCode {
+                field: "end_reason",
+                code,
+            }),
+        }
+    }
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EndReason::TimeLimit => "time limit",
+            EndReason::Accident => "accident",
+            EndReason::Quiescent => "quiescent (lasting stop)",
+        }
+    }
+}
+
+/// Outcome footer: how the run ended plus the summary metrics `explain`
+/// and the persistence policy care about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceOutcome {
+    /// Why the run ended.
+    pub end: EndReason,
+    /// Accident kind, if one ended the run.
+    pub accident: Option<AccidentKind>,
+    /// Accident time, seconds.
+    pub accident_time: Option<f64>,
+    /// First fault activation time, seconds.
+    pub fault_start: Option<f64>,
+    /// Minimum ground-truth TTC over the run, seconds.
+    pub min_ttc: f64,
+    /// Minimum edge-to-lane-line distance, metres.
+    pub min_lane_line_distance: f64,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+/// A complete flight-recorder trace: identity, step records, derived
+/// events, and the outcome footer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Run identity and replay parameters.
+    pub header: TraceHeader,
+    /// Retained step records (all of them, or the tail in ring mode).
+    pub samples: Vec<TraceSample>,
+    /// Discrete events in time order (always complete, even in ring mode).
+    pub events: Vec<TraceEvent>,
+    /// Outcome footer.
+    pub outcome: TraceOutcome,
+}
+
+/// Atomically writes `bytes` to `path` (temp file in the same directory +
+/// rename; parent directories created on demand).
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), TraceError> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| TraceError::Io(format!("no parent directory for {}", path.display())))?;
+    std::fs::create_dir_all(dir).map_err(|e| TraceError::Io(e.to_string()))?;
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        path.file_name()
+            .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+        std::process::id()
+    ));
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(TraceError::Io(format!("{}: {e}", path.display())));
+    }
+    Ok(())
+}
+
+impl Trace {
+    /// Serialises the trace (header, samples, events, outcome, checksum).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.serialise().0
+    }
+
+    /// Serialises once and also returns the whole-file FNV checksum (the
+    /// content address). [`save_in`] uses this to serialise and checksum a
+    /// trace exactly once per persist instead of once for the file name and
+    /// again for the file body.
+    ///
+    /// [`save_in`]: Trace::save_in
+    fn serialise(&self) -> (Vec<u8>, u64) {
+        let cap = TRACE_MAGIC.len()
+            + 128
+            + self.samples.len() * SAMPLE_WIRE_SIZE
+            + self.events.len() * 17
+            + 64;
+        let mut sink = ByteSink::with_capacity(cap);
+        sink.bytes(TRACE_MAGIC);
+
+        // Header.
+        let h = &self.header;
+        sink.u8(scenario_code(h.scenario));
+        sink.u8(position_code(h.position));
+        sink.u32(h.repetition);
+        sink.u8(fault_code(h.fault));
+        sink.u64(h.campaign_seed);
+        sink.u64(h.config_fingerprint);
+        sink.u64(h.model_fingerprint);
+        sink.u8(u8::from(h.interventions.driver));
+        sink.f64(h.interventions.driver_reaction_time);
+        sink.u8(u8::from(h.interventions.safety_check));
+        sink.u8(aebs_code(h.interventions.aebs));
+        sink.u8(u8::from(h.interventions.ml));
+        let (fc, fs) = friction_code(h.friction);
+        sink.u8(fc);
+        sink.f64(fs);
+        sink.u64(h.max_steps);
+        sink.u64(h.quiescence_steps);
+        sink.u64(h.first_step);
+        sink.u64(self.samples.len() as u64);
+        sink.u64(self.events.len() as u64);
+
+        // Step records.
+        for s in &self.samples {
+            encode_sample(&mut sink, s);
+        }
+        // Events.
+        for e in &self.events {
+            sink.f64(e.time);
+            sink.u8(e.kind.code());
+            sink.f64(e.value);
+        }
+        // Outcome footer.
+        let o = &self.outcome;
+        sink.u8(o.end.code());
+        sink.u8(accident_code(o.accident));
+        sink.opt_f64(o.accident_time);
+        sink.opt_f64(o.fault_start);
+        sink.f64(o.min_ttc);
+        sink.f64(o.min_lane_line_distance);
+        sink.u64(o.steps);
+
+        // Whole-file checksum.
+        let mut bytes = sink.into_bytes();
+        let mut sum = Checksum::new();
+        sum.update(&bytes);
+        let trailer = sum.value().to_le_bytes();
+        bytes.extend_from_slice(&trailer);
+        // The content address covers the trailer too; continue the running
+        // checksum over it rather than re-hashing the whole buffer.
+        let mut full = sum;
+        full.update(&trailer);
+        (bytes, full.value())
+    }
+
+    /// Parses [`Self::to_bytes`] output, verifying the checksum first so a
+    /// damaged file is rejected before any structural decoding.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        if bytes.len() < TRACE_MAGIC.len() + 8 {
+            return Err(TraceError::BadMagic);
+        }
+        let (payload, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        if !payload.starts_with(TRACE_MAGIC) {
+            return Err(TraceError::BadMagic);
+        }
+        let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+        let mut sum = Checksum::new();
+        sum.update(payload);
+        if sum.value() != stored {
+            return Err(TraceError::ChecksumMismatch {
+                stored,
+                computed: sum.value(),
+            });
+        }
+
+        let mut cur = Cursor::new(&payload[TRACE_MAGIC.len()..]);
+        let scenario = scenario_from_code(cur.u8()?)?;
+        let position = position_from_code(cur.u8()?)?;
+        let repetition = cur.u32()?;
+        let fault = fault_from_code(cur.u8()?)?;
+        let campaign_seed = cur.u64()?;
+        let config_fingerprint = cur.u64()?;
+        let model_fingerprint = cur.u64()?;
+        let driver = cur.u8()? != 0;
+        let driver_reaction_time = cur.f64()?;
+        let safety_check = cur.u8()? != 0;
+        let aebs = aebs_from_code(cur.u8()?)?;
+        let ml = cur.u8()? != 0;
+        let fc = cur.u8()?;
+        let fs = cur.f64()?;
+        let friction = friction_from_code(fc, fs)?;
+        let max_steps = cur.u64()?;
+        let quiescence_steps = cur.u64()?;
+        let first_step = cur.u64()?;
+        let n_samples = cur.u64()? as usize;
+        let n_events = cur.u64()? as usize;
+
+        // Cheap sanity bound before allocating: each sample/event costs a
+        // known number of bytes.
+        let need = n_samples * SAMPLE_WIRE_SIZE + n_events * 17;
+        if cur.remaining() < need {
+            return Err(TraceError::Truncated {
+                at: cur.pos(),
+                needed: need - cur.remaining(),
+            });
+        }
+
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            samples.push(decode_sample(&mut cur)?);
+        }
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let time = cur.f64()?;
+            let kind = EventKind::from_code(cur.u8()?)?;
+            let value = cur.f64()?;
+            events.push(TraceEvent { time, kind, value });
+        }
+        let end = EndReason::from_code(cur.u8()?)?;
+        let accident = accident_from_code(cur.u8()?)?;
+        let accident_time = cur.opt_f64()?;
+        let fault_start = cur.opt_f64()?;
+        let min_ttc = cur.f64()?;
+        let min_lane_line_distance = cur.f64()?;
+        let steps = cur.u64()?;
+        if cur.remaining() != 0 {
+            return Err(TraceError::TrailingBytes(cur.remaining()));
+        }
+
+        Ok(Self {
+            header: TraceHeader {
+                scenario,
+                position,
+                repetition,
+                fault,
+                campaign_seed,
+                config_fingerprint,
+                model_fingerprint,
+                interventions: InterventionSummary {
+                    driver,
+                    driver_reaction_time,
+                    safety_check,
+                    aebs,
+                    ml,
+                },
+                friction,
+                max_steps,
+                quiescence_steps,
+                first_step,
+            },
+            samples,
+            events,
+            outcome: TraceOutcome {
+                end,
+                accident,
+                accident_time,
+                fault_start,
+                min_ttc,
+                min_lane_line_distance,
+                steps,
+            },
+        })
+    }
+
+    /// Content address of this trace: FNV-1a over the serialised bytes,
+    /// rendered as fixed-width hex (the same addressing scheme as the
+    /// artifact cache).
+    #[must_use]
+    pub fn content_hex(&self) -> String {
+        format!("{:016x}", self.serialise().1)
+    }
+
+    /// The content-addressed file name this trace would be stored under.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("trace-{}.bin", self.content_hex())
+    }
+
+    /// Writes the trace content-addressed into `dir` (created on demand)
+    /// and returns the path. Writes are atomic (temp file + rename) so
+    /// concurrent campaign workers never leave a torn trace. The trace is
+    /// serialised and checksummed exactly once — the same pass yields both
+    /// the file name and the file body (persistence is on the campaign hot
+    /// path under `ADAS_TRACE`).
+    pub fn save_in(&self, dir: &Path) -> Result<PathBuf, TraceError> {
+        let (bytes, sum) = self.serialise();
+        let path = dir.join(format!("trace-{sum:016x}.bin"));
+        write_atomic(&path, &bytes)?;
+        Ok(path)
+    }
+
+    /// Writes the trace to an explicit path (atomic, parent created on
+    /// demand). Used for the golden regression traces, whose names must be
+    /// stable across regenerations.
+    pub fn save_as(&self, path: &Path) -> Result<(), TraceError> {
+        write_atomic(path, &self.to_bytes())
+    }
+
+    /// Loads and decodes a trace file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, checksum mismatches, and structural decode errors all
+    /// surface as [`TraceError`].
+    pub fn load(path: &Path) -> Result<Self, TraceError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// One-line identity summary (`S1/Near rep 0, fault Relative Distance,
+    /// seed 2025`).
+    #[must_use]
+    pub fn identity(&self) -> String {
+        let h = &self.header;
+        format!(
+            "{}/{:?} rep {} · fault {} · seed {}",
+            h.scenario.label(),
+            h.position,
+            h.repetition,
+            h.fault.map_or("none", FaultType::label),
+            h.campaign_seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let samples: Vec<TraceSample> = (0..50)
+            .map(|i| TraceSample {
+                time: f64::from(i) * 0.01,
+                ego_v: 20.0 + f64::from(i) * 0.01,
+                true_rd: if i < 25 { 60.0 - f64::from(i) } else { f64::INFINITY },
+                lead_v: if i < 25 { 13.0 } else { f64::NAN },
+                aeb_active: i > 30,
+                fault_active: i > 10,
+                ..TraceSample::default()
+            })
+            .collect();
+        Trace {
+            header: TraceHeader {
+                scenario: ScenarioId::S3,
+                position: InitialPosition::Far,
+                repetition: 7,
+                fault: Some(FaultType::Mixed),
+                campaign_seed: 2025,
+                config_fingerprint: 0xDEAD_BEEF,
+                model_fingerprint: 0,
+                interventions: InterventionSummary {
+                    driver: true,
+                    driver_reaction_time: 2.5,
+                    safety_check: true,
+                    aebs: AebsMode::Independent,
+                    ml: false,
+                },
+                friction: adas_simulator::FrictionCondition::Off25,
+                max_steps: 10_000,
+                quiescence_steps: 300,
+                first_step: 0,
+            },
+            samples,
+            events: vec![
+                TraceEvent {
+                    time: 0.11,
+                    kind: EventKind::FaultOn,
+                    value: 3.2,
+                },
+                TraceEvent {
+                    time: 0.31,
+                    kind: EventKind::InterventionOn(InterventionKind::Aeb),
+                    value: 1.8,
+                },
+            ],
+            outcome: TraceOutcome {
+                end: EndReason::Accident,
+                accident: Some(AccidentKind::ForwardCollision),
+                accident_time: Some(0.49),
+                fault_start: Some(0.11),
+                min_ttc: 0.4,
+                min_lane_line_distance: 0.7,
+                steps: 50,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let t = sample_trace();
+        let bytes = t.to_bytes();
+        let d = Trace::from_bytes(&bytes).unwrap();
+        // NaN != NaN under PartialEq; compare through Debug which renders
+        // NaN stably.
+        assert_eq!(format!("{t:?}"), format!("{d:?}"));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let t = sample_trace();
+        let bytes = t.to_bytes();
+        // Walk a stride of bit positions across the whole file (checking
+        // all ~40k bits would be slow for no extra coverage).
+        for byte in (0..bytes.len()).step_by(37) {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << (byte % 8);
+            assert!(
+                Trace::from_bytes(&corrupt).is_err(),
+                "bit flip at byte {byte} was not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_boundary_is_rejected() {
+        let t = sample_trace();
+        let bytes = t.to_bytes();
+        for cut in [0, 5, TRACE_MAGIC.len(), 100, bytes.len() - 9, bytes.len() - 1] {
+            assert!(Trace::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_trace().to_bytes();
+        bytes.extend_from_slice(b"junk");
+        assert!(Trace::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn event_kind_codes_round_trip() {
+        let mut kinds = vec![EventKind::FaultOn, EventKind::FaultOff];
+        for k in InterventionKind::ALL {
+            kinds.push(EventKind::InterventionOn(k));
+            kinds.push(EventKind::InterventionOff(k));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for kind in kinds {
+            let code = kind.code();
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert_eq!(EventKind::from_code(code).unwrap(), kind);
+        }
+        assert!(EventKind::from_code(200).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("adas-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = sample_trace();
+        let path = t.save_in(&dir).unwrap();
+        assert!(path.file_name().unwrap().to_string_lossy().starts_with("trace-"));
+        let loaded = Trace::load(&path).unwrap();
+        assert_eq!(format!("{t:?}"), format!("{loaded:?}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn content_address_is_stable_and_content_sensitive() {
+        let t = sample_trace();
+        assert_eq!(t.content_hex(), t.content_hex());
+        let mut t2 = t.clone();
+        t2.samples[3].ego_v += 1e-12;
+        assert_ne!(t.content_hex(), t2.content_hex());
+    }
+}

@@ -23,9 +23,11 @@ pub mod aebs;
 pub mod arbiter;
 pub mod check;
 pub mod driver;
+pub mod event;
 pub mod ldw;
 
 pub use aebs::{Aebs, AebsConfig, AebsMode, AebsOutput, AebsStage};
+pub use event::InterventionKind;
 pub use arbiter::{arbitrate, ArbiterInputs, Arbitration, CommandSource};
 pub use check::{CheckedCommand, SafetyCheck, SafetyCheckConfig};
 pub use driver::{BrakeTrigger, DriverAction, DriverConfig, DriverInputs, DriverModel};
