@@ -1,0 +1,41 @@
+//! Coverage-guided fuzzing of the scenario/attack parameter space.
+//!
+//! The paper evaluates interventions on a fixed grid (six NHTSA scenarios ×
+//! three fault types × two spawn positions), but the worst hazards live
+//! *between* grid cells: a cut-in triggered a few metres earlier, a patch a
+//! little further down the road, slightly lower friction. This crate
+//! searches that continuous space:
+//!
+//! * [`case::FuzzCase`] — one point in the search space: the discrete grid
+//!   coordinates plus continuous overrides (ego speed, friction, attack
+//!   start/duration/intensity, NPC trigger offsets);
+//! * [`coverage`] — a behavioural signature (hazards seen, interventions
+//!   fired, TTC/lateral buckets) that keys the corpus: a mutant earns a
+//!   corpus slot only by exhibiting behaviour no earlier case did;
+//! * [`oracle`] — safety properties that must hold *regardless* of
+//!   parameters, checked on every run's flight-recorder trace;
+//! * [`engine`] — the deterministic mutate → evaluate (in parallel) →
+//!   collect loop;
+//! * [`shrink`] — parameter bisection toward a benign neighbour, so a
+//!   finding is reported at the mildest parameters that still violate;
+//! * [`repro`] — findings persisted as `repros/*.toml` + a flight-recorder
+//!   trace, replayable bit-exactly under `cargo test`.
+//!
+//! Everything is deterministic: same seed → same corpus, same coverage
+//! signatures, same findings, at any `ADAS_THREADS` worker count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod coverage;
+pub mod engine;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+
+pub use case::{run_case, run_case_with, FuzzCase};
+pub use coverage::Signature;
+pub use engine::{fuzz, Evaluation, Finding, FuzzConfig, FuzzReport};
+pub use oracle::{severity, OracleKind, Violation};
+pub use repro::Repro;

@@ -1,0 +1,349 @@
+//! Replayable repro files.
+//!
+//! A finding the fuzzer shrinks is persisted as a flat `key = value` file
+//! (a strict TOML subset, hand-rolled because the build is offline and the
+//! workspace vendors no TOML crate) plus the flight-recorder trace of the
+//! shrunk run. Floats are written with `{:?}` so the round-trip is
+//! bit-exact; [`Repro::verify`] re-runs the case and demands the same
+//! oracle family fires, the behavioural signature matches, and — when the
+//! trace is present — the fresh run is bit-identical to the recording.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use adas_recorder::{diff_traces, Trace};
+
+use crate::case::FuzzCase;
+use crate::engine::evaluate;
+use crate::oracle::OracleKind;
+use adas_attack::FaultType;
+use adas_scenarios::{InitialPosition, ScenarioId};
+
+/// One persisted, replayable finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// The (shrunk) violating case.
+    pub case: FuzzCase,
+    /// Campaign seed the violation reproduces under.
+    pub seed: u64,
+    /// Which oracle family fired.
+    pub oracle: OracleKind,
+    /// Human-readable violation text at save time.
+    pub detail: String,
+    /// Expected behavioural signature of the primary run.
+    pub signature: u64,
+    /// Trace file path relative to the repro's directory, if recorded.
+    pub trace_file: Option<String>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn fault_name(fault: Option<FaultType>) -> &'static str {
+    match fault {
+        None => "none",
+        Some(FaultType::RelativeDistance) => "RelativeDistance",
+        Some(FaultType::DesiredCurvature) => "DesiredCurvature",
+        Some(FaultType::Mixed) => "Mixed",
+    }
+}
+
+fn parse_fault(name: &str) -> Result<Option<FaultType>, String> {
+    match name {
+        "none" => Ok(None),
+        "RelativeDistance" => Ok(Some(FaultType::RelativeDistance)),
+        "DesiredCurvature" => Ok(Some(FaultType::DesiredCurvature)),
+        "Mixed" => Ok(Some(FaultType::Mixed)),
+        other => Err(format!("unknown fault {other:?}")),
+    }
+}
+
+fn parse_scenario(name: &str) -> Result<ScenarioId, String> {
+    ScenarioId::ALL
+        .into_iter()
+        .find(|s| s.label() == name)
+        .ok_or_else(|| format!("unknown scenario {name:?}"))
+}
+
+fn parse_position(name: &str) -> Result<InitialPosition, String> {
+    match name {
+        "Near" => Ok(InitialPosition::Near),
+        "Far" => Ok(InitialPosition::Far),
+        other => Err(format!("unknown position {other:?}")),
+    }
+}
+
+impl Repro {
+    /// Stable file stem: oracle family plus the case fingerprint, so two
+    /// findings of the same family in different cells never collide.
+    #[must_use]
+    pub fn file_stem(&self) -> String {
+        format!("{}-{:016x}", self.oracle.name(), self.case.fingerprint())
+    }
+
+    /// Serialises to the flat TOML subset.
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# adas-fuzz repro v1 — replay with `adas-fuzz replay <this file>`");
+        let _ = writeln!(s, "oracle = \"{}\"", self.oracle.name());
+        let _ = writeln!(s, "seed = {}", self.seed);
+        let _ = writeln!(s, "signature = {}", self.signature);
+        let _ = writeln!(s, "detail = \"{}\"", escape(&self.detail));
+        if let Some(tf) = &self.trace_file {
+            let _ = writeln!(s, "trace_file = \"{}\"", escape(tf));
+        }
+        let c = &self.case;
+        let _ = writeln!(s, "scenario = \"{}\"", c.scenario.label());
+        let _ = writeln!(s, "position = \"{}\"", position_name(c.position));
+        let _ = writeln!(s, "iv_row = {}", c.iv_row);
+        let _ = writeln!(s, "fault = \"{}\"", fault_name(c.fault));
+        let _ = writeln!(s, "repetition = {}", c.repetition);
+        let _ = writeln!(s, "ego_speed_delta = {:?}", c.ego_speed_delta);
+        let _ = writeln!(s, "friction = {:?}", c.friction);
+        let _ = writeln!(s, "attack_start_offset = {:?}", c.attack_start_offset);
+        let _ = writeln!(s, "attack_duration = {:?}", c.attack_duration);
+        let _ = writeln!(s, "attack_intensity = {:?}", c.attack_intensity);
+        let _ = writeln!(s, "attack_direction = {:?}", c.attack_direction);
+        let _ = writeln!(s, "trigger_offset = {:?}", c.trigger_offset);
+        s
+    }
+
+    /// Parses the flat TOML subset produced by [`Repro::to_toml`].
+    pub fn from_toml(text: &str) -> Result<Self, String> {
+        let mut get = std::collections::BTreeMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            get.insert(key.trim().to_owned(), value.trim().to_owned());
+        }
+        let text_of = |key: &str| -> Result<String, String> {
+            let raw = get
+                .get(key)
+                .ok_or_else(|| format!("missing key {key:?}"))?;
+            let inner = raw
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .ok_or_else(|| format!("{key}: expected a quoted string, got {raw}"))?;
+            unescape(inner)
+        };
+        let f64_of = |key: &str| -> Result<f64, String> {
+            get.get(key)
+                .ok_or_else(|| format!("missing key {key:?}"))?
+                .parse::<f64>()
+                .map_err(|e| format!("{key}: {e}"))
+        };
+        let int_of = |key: &str| -> Result<u64, String> {
+            get.get(key)
+                .ok_or_else(|| format!("missing key {key:?}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{key}: {e}"))
+        };
+
+        let oracle_name = text_of("oracle")?;
+        let oracle = OracleKind::from_name(&oracle_name)
+            .ok_or_else(|| format!("unknown oracle {oracle_name:?}"))?;
+        let case = FuzzCase {
+            scenario: parse_scenario(&text_of("scenario")?)?,
+            position: parse_position(&text_of("position")?)?,
+            iv_row: usize::try_from(int_of("iv_row")?).map_err(|e| e.to_string())?,
+            fault: parse_fault(&text_of("fault")?)?,
+            repetition: u32::try_from(int_of("repetition")?).map_err(|e| e.to_string())?,
+            ego_speed_delta: f64_of("ego_speed_delta")?,
+            friction: f64_of("friction")?,
+            attack_start_offset: f64_of("attack_start_offset")?,
+            attack_duration: f64_of("attack_duration")?,
+            attack_intensity: f64_of("attack_intensity")?,
+            attack_direction: f64_of("attack_direction")?,
+            trigger_offset: f64_of("trigger_offset")?,
+        };
+        Ok(Repro {
+            case,
+            seed: int_of("seed")?,
+            oracle,
+            detail: text_of("detail")?,
+            signature: int_of("signature")?,
+            trace_file: match get.get("trace_file") {
+                Some(_) => Some(text_of("trace_file")?),
+                None => None,
+            },
+        })
+    }
+
+    /// Writes `<dir>/<stem>.toml` plus `<dir>/traces/<stem>.bin`, returning
+    /// the path of the TOML file. Sets `trace_file` accordingly.
+    pub fn save(&mut self, dir: &Path, trace: &Trace) -> Result<PathBuf, String> {
+        let stem = self.file_stem();
+        let trace_dir = dir.join("traces");
+        std::fs::create_dir_all(&trace_dir).map_err(|e| e.to_string())?;
+        let trace_rel = format!("traces/{stem}.bin");
+        trace
+            .save_as(&dir.join(&trace_rel))
+            .map_err(|e| format!("{e:?}"))?;
+        self.trace_file = Some(trace_rel);
+        let toml_path = dir.join(format!("{stem}.toml"));
+        std::fs::write(&toml_path, self.to_toml()).map_err(|e| e.to_string())?;
+        Ok(toml_path)
+    }
+
+    /// Loads a repro from a `.toml` path.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Re-runs the case and checks the finding still holds: same oracle
+    /// family fires, same behavioural signature, and (when a trace was
+    /// saved) the fresh run is bit-identical to the recording.
+    /// `base_dir` is the directory the repro file lives in, used to
+    /// resolve `trace_file`.
+    pub fn verify(&self, base_dir: &Path) -> Result<(), String> {
+        let eval = evaluate(&self.case, self.seed);
+        if !eval.violations.iter().any(|v| v.oracle == self.oracle) {
+            return Err(format!(
+                "oracle {} no longer fires; observed: {:?}",
+                self.oracle.name(),
+                eval.violations
+                    .iter()
+                    .map(|v| v.oracle.name())
+                    .collect::<Vec<_>>()
+            ));
+        }
+        if eval.signature.0 != self.signature {
+            return Err(format!(
+                "signature drifted: stored {:#x}, fresh {:#x} ({})",
+                self.signature,
+                eval.signature.0,
+                eval.signature.describe()
+            ));
+        }
+        if let Some(tf) = &self.trace_file {
+            let stored =
+                Trace::load(&base_dir.join(tf)).map_err(|e| format!("{tf}: {e:?}"))?;
+            let (_, fresh) = crate::case::run_case(&self.case, self.seed);
+            let report = diff_traces(&stored, &fresh);
+            if !report.is_identical() {
+                return Err(format!("trace diverged from recording: {report:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn position_name(p: InitialPosition) -> &'static str {
+    match p {
+        InitialPosition::Near => "Near",
+        InitialPosition::Far => "Far",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repro {
+        let mut case = FuzzCase::baseline(
+            ScenarioId::S5,
+            InitialPosition::Far,
+            4,
+            Some(FaultType::Mixed),
+        );
+        case.ego_speed_delta = -std::f64::consts::PI;
+        case.friction = 0.300_000_000_000_000_04;
+        case.attack_start_offset = 17.25;
+        case.attack_direction = -1.0;
+        Repro {
+            case,
+            seed: 2025,
+            oracle: OracleKind::HazardOrdering,
+            detail: "accident \"A1\" at t=3.2\nwith no prior hazard \\ flag".to_owned(),
+            signature: 0xDEAD_BEEF,
+            trace_file: Some("traces/demo.bin".to_owned()),
+        }
+    }
+
+    #[test]
+    fn toml_round_trip_is_lossless() {
+        let r = sample();
+        let parsed = Repro::from_toml(&r.to_toml()).unwrap();
+        assert_eq!(parsed, r);
+        // Floats must round-trip bit-exactly, not just approximately.
+        assert_eq!(
+            parsed.case.friction.to_bits(),
+            r.case.friction.to_bits()
+        );
+    }
+
+    #[test]
+    fn round_trip_without_trace_file() {
+        let mut r = sample();
+        r.trace_file = None;
+        assert_eq!(Repro::from_toml(&r.to_toml()).unwrap(), r);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Repro::from_toml("").is_err());
+        assert!(Repro::from_toml("oracle = \"no-such-oracle\"\n").is_err());
+        let mut r = sample();
+        r.detail.clear();
+        let good = r.to_toml();
+        let broken = good.replace("scenario = \"S5\"", "scenario = \"S9\"");
+        assert!(Repro::from_toml(&broken).is_err());
+        let missing = good.replace("friction", "fricshun");
+        assert!(Repro::from_toml(&missing).is_err());
+    }
+
+    #[test]
+    fn file_stem_is_oracle_plus_fingerprint() {
+        let r = sample();
+        let stem = r.file_stem();
+        assert!(stem.starts_with("hazard-ordering-"), "{stem}");
+        assert_eq!(stem.len(), "hazard-ordering-".len() + 16);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let r = sample();
+        let text = format!("# header\n\n{}\n# trailer\n", r.to_toml());
+        assert_eq!(Repro::from_toml(&text).unwrap(), r);
+    }
+}

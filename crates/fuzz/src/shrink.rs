@@ -1,0 +1,162 @@
+//! Finding minimisation: bisect the continuous parameters between a benign
+//! neighbour and the violating case, keeping the mildest parameters that
+//! still violate.
+//!
+//! The search space is continuous, so delta-debugging's subset removal
+//! does not apply; instead the violator `V` and a benign neighbour `B`
+//! (same grid cell, no violations) span a line `B + t·(V − B)`, and the
+//! smallest violating `t` is bisected. The oracle side is assumed
+//! monotone-ish along the line; where it is not, bisection still returns
+//! *a* violating point no further from `B` than `V`, which is all the
+//! repro needs.
+
+use crate::case::FuzzCase;
+use crate::coverage::Signature;
+use crate::engine::evaluate;
+use crate::oracle::{OracleKind, Violation};
+
+/// Result of shrinking one finding.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimised case (still violating).
+    pub case: FuzzCase,
+    /// The violation as observed on the minimised case.
+    pub violation: Violation,
+    /// Behavioural signature of the minimised case's primary run.
+    pub signature: Signature,
+    /// Simulation runs spent probing.
+    pub runs_used: u64,
+}
+
+/// Pure bisection skeleton: returns the violating case closest to `benign`
+/// that `violates` confirms, probing at most `steps + 1` points.
+pub fn shrink_with<F>(case: &FuzzCase, benign: &FuzzCase, steps: u32, mut violates: F) -> FuzzCase
+where
+    F: FnMut(&FuzzCase) -> bool,
+{
+    let at_benign = case.lerp_from(benign, 0.0);
+    if at_benign == *case {
+        // No continuous distance to travel.
+        return *case;
+    }
+    if violates(&at_benign) {
+        // The benign neighbour's continuous parameters already violate in
+        // this cell: that is the minimal repro.
+        return at_benign;
+    }
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    let mut best = *case;
+    for _ in 0..steps {
+        let mid = 0.5 * (lo + hi);
+        let candidate = case.lerp_from(benign, mid);
+        if violates(&candidate) {
+            hi = mid;
+            best = candidate;
+        } else {
+            lo = mid;
+        }
+    }
+    best
+}
+
+/// Shrinks one finding with the real oracle stack: a probe is a full
+/// [`evaluate`] (including differential/metamorphic reruns), and the
+/// violation counts only if the same oracle family fires.
+#[must_use]
+pub fn shrink(
+    case: &FuzzCase,
+    kind: OracleKind,
+    benign: &FuzzCase,
+    seed: u64,
+    steps: u32,
+) -> ShrinkOutcome {
+    let mut runs = 0u64;
+    let minimal = shrink_with(case, benign, steps, |c| {
+        let eval = evaluate(c, seed);
+        runs += eval.runs_used;
+        eval.violations.iter().any(|v| v.oracle == kind)
+    });
+    // Authoritative re-evaluation of the chosen point (also regenerates
+    // the violation text and signature for the repro file).
+    let eval = evaluate(&minimal, seed);
+    runs += eval.runs_used;
+    let violation = eval
+        .violations
+        .into_iter()
+        .find(|v| v.oracle == kind)
+        .unwrap_or_else(|| Violation {
+            oracle: kind,
+            step: None,
+            detail: "violation did not reproduce at the shrunk point".to_owned(),
+        });
+    ShrinkOutcome {
+        case: minimal,
+        violation,
+        signature: eval.signature,
+        runs_used: runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_attack::FaultType;
+    use adas_scenarios::{InitialPosition, ScenarioId};
+
+    fn cell(delta: f64) -> FuzzCase {
+        let mut c = FuzzCase::baseline(
+            ScenarioId::S2,
+            InitialPosition::Near,
+            1,
+            Some(FaultType::RelativeDistance),
+        );
+        c.ego_speed_delta = delta;
+        c
+    }
+
+    #[test]
+    fn bisection_converges_to_the_violation_boundary() {
+        // Synthetic oracle: violates iff ego_speed_delta > 3.0.
+        let found = cell(8.0);
+        let benign = cell(0.0);
+        let shrunk = shrink_with(&found, &benign, 12, |c| c.ego_speed_delta > 3.0);
+        assert!(shrunk.ego_speed_delta > 3.0, "{shrunk:?}");
+        assert!(
+            shrunk.ego_speed_delta < 3.0 + 8.0 / 1024.0,
+            "not minimal: {}",
+            shrunk.ego_speed_delta
+        );
+    }
+
+    #[test]
+    fn benign_neighbour_violating_is_returned_directly() {
+        let found = cell(8.0);
+        let benign = cell(0.0);
+        // Everything violates: the benign end is the minimum.
+        let shrunk = shrink_with(&found, &benign, 12, |_| true);
+        assert_eq!(shrunk.ego_speed_delta, 0.0);
+    }
+
+    #[test]
+    fn zero_distance_returns_the_case_without_probing() {
+        let found = cell(2.0);
+        let mut probes = 0;
+        let shrunk = shrink_with(&found, &found.clone(), 12, |_| {
+            probes += 1;
+            true
+        });
+        assert_eq!(shrunk, found);
+        assert_eq!(probes, 0);
+    }
+
+    #[test]
+    fn discrete_coordinates_never_move_during_shrinking() {
+        let found = cell(8.0);
+        let mut benign = cell(0.0);
+        benign.repetition = 3; // differs in a discrete dimension too
+        let shrunk = shrink_with(&found, &benign, 8, |c| c.ego_speed_delta > 5.0);
+        assert_eq!(shrunk.scenario, found.scenario);
+        assert_eq!(shrunk.repetition, found.repetition);
+        assert_eq!(shrunk.fault, found.fault);
+    }
+}

@@ -293,7 +293,7 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_latches() {
+    fn reset_clears_latches_simple() {
         let mut m = HazardMonitor::default();
         let mut w = world();
         w.spawn_ego(0.0, 15.0);
@@ -309,5 +309,136 @@ mod tests {
         assert!(m.any_hazard());
         m.reset();
         assert!(!m.any_hazard());
+    }
+}
+
+/// Property tests over randomized worlds: latching is monotone, `reset()`
+/// is indistinguishable from fresh construction, and an accident is never
+/// reported without its hazard precursor.
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use adas_simulator::{
+        Npc, NpcPlan, RoadBuilder, VehicleCommand, VehicleParams, World, WorldConfig,
+    };
+    use proptest::prelude::*;
+
+    /// A randomized car-following world: ego behind one in-lane lead.
+    fn lead_world(ego_v: f64, lead_gap: f64, lead_v: f64) -> World {
+        let road = RoadBuilder::straight_highway(5000.0).build();
+        let mut w = World::new(WorldConfig::default(), road);
+        w.spawn_ego(0.0, ego_v);
+        w.add_npc(Npc::new(
+            VehicleParams::sedan(),
+            lead_gap,
+            0.0,
+            lead_v,
+            NpcPlan::cruise(),
+        ));
+        w
+    }
+
+    proptest! {
+        /// Once a first-occurrence time latches it never moves, and it is
+        /// never in the future of the step that set it.
+        #[test]
+        fn first_times_latch_monotonically(
+            ego_v in 10.0f64..30.0,
+            lead_gap in 15.0f64..120.0,
+            lead_v in 0.0f64..10.0,
+            gas in 0.3f64..1.0,
+            steer in -0.05f64..0.05,
+        ) {
+            let mut w = lead_world(ego_v, lead_gap, lead_v);
+            let mut m = HazardMonitor::default();
+            let (mut h1, mut h2, mut acc) = (None, None, None);
+            for _ in 0..500 {
+                w.step(VehicleCommand { gas, brake: 0.0, steer });
+                let _ = m.update(&w);
+                for (latched, fresh) in [(&mut h1, m.first_h1()), (&mut h2, m.first_h2())] {
+                    match (*latched, fresh) {
+                        (None, Some(t)) => {
+                            prop_assert!(t <= w.time() + 1e-9, "latched in the future");
+                            *latched = Some(t);
+                        }
+                        (Some(t0), now) => prop_assert_eq!(now, Some(t0), "first time moved"),
+                        (None, None) => {}
+                    }
+                }
+                match (acc, m.accident()) {
+                    (None, Some(a)) => acc = Some(a),
+                    (Some(a0), now) => prop_assert_eq!(now, Some(a0), "accident relatched"),
+                    (None, None) => {}
+                }
+            }
+        }
+
+        /// After `reset()` the monitor is observationally identical to a
+        /// freshly constructed one: both report the same snapshots and
+        /// first-occurrence times on any subsequent world history.
+        #[test]
+        fn reset_equals_fresh_construction(
+            ego_v in 10.0f64..30.0,
+            lead_gap in 10.0f64..80.0,
+            lead_v in 0.0f64..10.0,
+            gas in 0.2f64..1.0,
+            prefix_steps in 0usize..400,
+        ) {
+            // Dirty a monitor with an arbitrary history, then reset.
+            let mut recycled = HazardMonitor::default();
+            let mut w = lead_world(ego_v, lead_gap, lead_v);
+            for _ in 0..prefix_steps {
+                w.step(VehicleCommand { gas: 1.0, brake: 0.0, steer: 0.03 });
+                let _ = recycled.update(&w);
+            }
+            recycled.reset();
+            prop_assert!(!recycled.any_hazard());
+            prop_assert!(recycled.accident().is_none());
+
+            let mut fresh = HazardMonitor::default();
+            let mut w2 = lead_world(ego_v, lead_gap, lead_v);
+            for _ in 0..300 {
+                w2.step(VehicleCommand { gas, brake: 0.0, steer: 0.0 });
+                let a = recycled.update(&w2);
+                let b = fresh.update(&w2);
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_eq!(recycled.first_h1(), fresh.first_h1());
+            prop_assert_eq!(recycled.first_h2(), fresh.first_h2());
+            prop_assert_eq!(recycled.accident(), fresh.accident());
+        }
+
+        /// No accident without its hazard precursor: a forward collision
+        /// (A1) implies H1 fired at or before the accident time; a lane
+        /// violation (A2) from steady drift implies H2 did. Physics is
+        /// continuous and the thresholds leave margin (4.9 m gap, 0.1 m
+        /// line distance), so a per-step monitor cannot skip the hazard.
+        #[test]
+        fn accident_implies_preceding_hazard(
+            ego_v in 15.0f64..30.0,
+            lead_gap in 10.0f64..60.0,
+            lead_v in 0.0f64..8.0,
+            steer in -0.06f64..0.06,
+        ) {
+            let mut w = lead_world(ego_v, lead_gap, lead_v);
+            let mut m = HazardMonitor::default();
+            for _ in 0..3000 {
+                w.step(VehicleCommand { gas: 0.8, brake: 0.0, steer });
+                let _ = m.update(&w);
+                if m.accident().is_some() {
+                    break;
+                }
+            }
+            if let Some((t_acc, kind)) = m.accident() {
+                let precursor = match kind {
+                    AccidentKind::ForwardCollision => m.first_h1(),
+                    AccidentKind::LaneViolation => m.first_h2(),
+                };
+                prop_assert!(
+                    precursor.is_some_and(|t| t <= t_acc + 1e-9),
+                    "{kind} at t={t_acc} with precursor {precursor:?}"
+                );
+            }
+        }
     }
 }

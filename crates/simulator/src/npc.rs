@@ -129,6 +129,13 @@ impl Npc {
         &mut self.vehicle
     }
 
+    /// Mutable access to the phase plan. Scenario-space search (the fuzzer)
+    /// nudges trigger thresholds after construction; this is only sound
+    /// before the first [`Npc::step`], while `next_phase` is still 0.
+    pub fn plan_mut(&mut self) -> &mut NpcPlan {
+        &mut self.plan
+    }
+
     /// Current state shortcut.
     #[must_use]
     pub fn state(&self) -> &VehicleState {

@@ -85,3 +85,26 @@ fn scenario_jitter_is_seed_scoped() {
     assert_ne!(sa.npcs[0].state().s, sb.npcs[0].state().s);
     assert_ne!(sa.patch_start_s, sb.patch_start_s);
 }
+
+#[test]
+fn fuzz_sessions_reproduce_bit_for_bit() {
+    // The fuzzer inherits the platform's determinism guarantee: the same
+    // config must yield the same corpus, coverage curve, and findings.
+    // (Thread-count invariance is exercised by the CI smoke job, which
+    // runs the CLI under an explicit ADAS_THREADS; within one process the
+    // worker pool is already exercised by the campaign tests above.)
+    use adas_fuzz::FuzzConfig;
+    let cfg = FuzzConfig {
+        seed: 4242,
+        max_runs: 40,
+        batch: 8,
+        max_secs: None,
+        shrink_steps: 4,
+    };
+    let a = adas_fuzz::fuzz(&cfg);
+    let b = adas_fuzz::fuzz(&cfg);
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.coverage_growth, b.coverage_growth);
+    assert_eq!(format!("{:?}", a.corpus), format!("{:?}", b.corpus));
+    assert_eq!(format!("{:?}", a.findings), format!("{:?}", b.findings));
+}

@@ -1,0 +1,64 @@
+//! Golden repro regression suite: every fuzzer finding committed under
+//! `repros/` must still reproduce — the oracle violation fires, the
+//! behavioural signature matches, and deterministic re-execution is
+//! bit-identical to the flight-recorder trace stored next to it.
+//!
+//! A failure here means a code change altered the behaviour a shrunk
+//! finding pinned down. If the change is intentional (e.g. a bug the
+//! finding exposed was fixed), regenerate the affected repro with
+//! `adas-fuzz run` or delete it with a note in EXPERIMENTS.md; silent
+//! drift is exactly what this suite exists to catch.
+
+use adas_fuzz::Repro;
+use std::path::{Path, PathBuf};
+
+fn repro_files() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("repros");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn committed_repros_exist() {
+    assert!(
+        !repro_files().is_empty(),
+        "repros/ holds no .toml files — the golden findings are gone"
+    );
+}
+
+#[test]
+fn every_committed_repro_still_reproduces() {
+    let files = repro_files();
+    let mut failures = Vec::new();
+    for path in &files {
+        let repro = match Repro::load(path) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("{}: unreadable: {e}", path.display()));
+                continue;
+            }
+        };
+        assert!(
+            repro.trace_file.is_some(),
+            "{}: committed repros must carry a trace for bit-exact replay",
+            path.display()
+        );
+        let base = path.parent().expect("repro path has a parent");
+        if let Err(e) = repro.verify(base) {
+            failures.push(format!("{}: {e}", path.display()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} repros failed:\n{}",
+        failures.len(),
+        files.len(),
+        failures.join("\n")
+    );
+}
