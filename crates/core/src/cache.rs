@@ -170,16 +170,13 @@ impl ArtifactCache {
     /// by `ADAS_CACHE_DIR`, disabled by `ADAS_CACHE=0|off|false|no`.
     #[must_use]
     pub fn from_env() -> Self {
-        if let Ok(v) = std::env::var("ADAS_CACHE") {
-            let v = v.trim().to_ascii_lowercase();
-            if matches!(v.as_str(), "0" | "off" | "false" | "no") {
-                return Self::disabled();
-            }
+        if crate::env::switch("ADAS_CACHE") == Some(false) {
+            return Self::disabled();
         }
-        let dir = std::env::var("ADAS_CACHE_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|_| Path::new("results").join("cache"));
-        Self::at(dir)
+        Self::at(crate::env::path_or(
+            "ADAS_CACHE_DIR",
+            Path::new("results").join("cache"),
+        ))
     }
 
     /// Whether lookups can ever hit.
@@ -222,10 +219,17 @@ impl ArtifactCache {
         loaded
     }
 
-    /// Stores an artifact atomically (temp file + rename). Returns whether
-    /// the entry landed; failures are reported on stderr and otherwise
-    /// ignored — the cache is an accelerator, never a correctness
+    /// Stores an artifact atomically (temp file + fsync + rename). Returns
+    /// whether the entry landed; failures are reported on stderr and
+    /// otherwise ignored — the cache is an accelerator, never a correctness
     /// dependency.
+    ///
+    /// The fsync before the rename matters for long-lived processes
+    /// (`adas-serve`): without it, a crash or power loss shortly after the
+    /// rename can leave the *name* durable but the *contents* torn, and a
+    /// torn-but-present entry would poison every later warm start. (The
+    /// entry codecs all carry checksums as a second line of defence, but a
+    /// poisoned entry still costs the recompute on every lookup.)
     pub fn store(&self, kind: &str, key: Fingerprint, bytes: &[u8]) -> bool {
         let Some(path) = self.entry_path(kind, key) else {
             return false;
@@ -238,8 +242,14 @@ impl ArtifactCache {
             key.hex(),
             std::process::id()
         ));
+        let write_synced = |tmp: &Path| -> std::io::Result<()> {
+            use std::io::Write;
+            let mut file = std::fs::File::create(tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()
+        };
         let result = std::fs::create_dir_all(dir)
-            .and_then(|()| std::fs::write(&tmp, bytes))
+            .and_then(|()| write_synced(&tmp))
             .and_then(|()| std::fs::rename(&tmp, &path));
         match result {
             Ok(()) => {

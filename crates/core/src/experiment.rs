@@ -63,12 +63,28 @@ pub fn run_single(
     platform.run()
 }
 
+/// Bitmask selecting every scenario (bit `i` = `ScenarioId::ALL[i]`).
+pub const SCENARIO_MASK_ALL: u8 = (1 << ScenarioId::ALL.len()) - 1;
+
 /// Enumerates the full sweep for one campaign cell in paper order
 /// (scenario-major, then position, then repetition).
 #[must_use]
 pub fn campaign_run_ids(repetitions: u32) -> Vec<RunId> {
+    campaign_run_ids_masked(repetitions, SCENARIO_MASK_ALL)
+}
+
+/// [`campaign_run_ids`] restricted to the scenarios whose bit is set in
+/// `mask` (bit `i` = `ScenarioId::ALL[i]`, so `0b1001` = S1 + S4). Order
+/// is still scenario-major paper order; a run's identity (and therefore
+/// its RNG stream) depends only on its own coordinates, so a masked sweep
+/// reproduces exactly the matching subset of the full sweep.
+#[must_use]
+pub fn campaign_run_ids_masked(repetitions: u32, mask: u8) -> Vec<RunId> {
     let mut ids = Vec::new();
-    for scenario in ScenarioId::ALL {
+    for (i, scenario) in ScenarioId::ALL.into_iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
         for position in InitialPosition::ALL {
             for repetition in 0..repetitions {
                 ids.push(RunId {

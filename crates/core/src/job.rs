@@ -1,0 +1,617 @@
+//! Wire-serializable campaign job and result types.
+//!
+//! The `adas-serve` daemon receives campaign grids over TCP and streams
+//! per-cell statistics back; both directions need stable, versioned binary
+//! codecs that cannot panic on malformed input. The vendored `serde` is a
+//! compile-only stub (see `vendor/serde`), so — like the [`CellStats`]
+//! cache codec and the flight-recorder format before it — these codecs are
+//! explicit little-endian byte layouts with every decode returning
+//! `Option`/`Err` instead of indexing blindly.
+//!
+//! A *campaign* is a grid of *cells*; each cell is one (fault ×
+//! intervention-set) combination swept over the masked scenario set, both
+//! initial positions, and `repetitions` repetitions — exactly the shape of
+//! the paper's Table VI. Cell statistics are [`CellStats`], whose existing
+//! binary codec doubles as the wire encoding (and whose byte equality is
+//! the "bit-identical outcome" criterion the integration tests assert).
+
+use crate::cache::Fingerprint;
+use crate::config::{InterventionConfig, PlatformConfig};
+use crate::experiment::{
+    campaign_cell_fingerprint, campaign_run_ids_masked, RunId, SCENARIO_MASK_ALL,
+};
+use adas_attack::FaultType;
+use adas_safety::AebsMode;
+use adas_scenarios::{AccidentKind, InitialPosition, RunRecord, ScenarioId};
+
+/// Hard cap on cells per campaign: a defensive bound so a hostile frame
+/// cannot make the server enqueue unbounded work from one request.
+pub const MAX_CELLS: usize = 1024;
+
+/// Incrementing little-endian byte sink for the fixed-layout codecs.
+#[derive(Debug, Default)]
+pub struct ByteWriter(Vec<u8>);
+
+impl ByteWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Consumes the writer, yielding the accumulated bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.0.push(u8::from(v));
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` by bit pattern (NaN and infinities round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends an optional `f64` as a presence tag plus the value.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        self.bool(v.is_some());
+        self.f64(v.unwrap_or(0.0));
+    }
+
+    /// Appends raw bytes (length is the caller's contract).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.0.extend_from_slice(v);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    pub fn blob(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("blob ≤ 4 GiB"));
+        self.bytes(v);
+    }
+}
+
+/// Bounds-checked little-endian cursor over untrusted bytes. Every reader
+/// method returns `None` past the end instead of panicking — the decode
+/// surface for frames arriving off the network.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte was consumed (codecs require exact length —
+    /// trailing garbage is a decode error, not padding).
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a bool encoded as exactly 0 or 1 (other values are malformed).
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Reads an optional `f64` (presence tag + value).
+    pub fn opt_f64(&mut self) -> Option<Option<f64>> {
+        let present = self.bool()?;
+        let v = self.f64()?;
+        Some(present.then_some(v))
+    }
+
+    /// Reads a `u32`-length-prefixed blob, bounds-checked against the
+    /// remaining input before any allocation.
+    pub fn blob(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return None;
+        }
+        self.take(len)
+    }
+}
+
+/// One cell of a campaign grid: a fault type (or the benign baseline)
+/// under one intervention configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Injected fault; `None` is the fault-free baseline.
+    pub fault: Option<FaultType>,
+    /// Active interventions for this cell.
+    pub interventions: InterventionConfig,
+}
+
+impl CellSpec {
+    /// Encodes into `out` (fault tag, intervention flags, AEBS mode,
+    /// reaction time).
+    pub fn encode(&self, out: &mut ByteWriter) {
+        out.u8(match self.fault {
+            None => 0,
+            Some(FaultType::RelativeDistance) => 1,
+            Some(FaultType::DesiredCurvature) => 2,
+            Some(FaultType::Mixed) => 3,
+        });
+        let iv = self.interventions;
+        let flags =
+            u8::from(iv.driver) | (u8::from(iv.safety_check) << 1) | (u8::from(iv.ml) << 2);
+        out.u8(flags);
+        out.u8(match iv.aebs {
+            AebsMode::Disabled => 0,
+            AebsMode::Compromised => 1,
+            AebsMode::Independent => 2,
+        });
+        out.f64(iv.driver_reaction_time);
+    }
+
+    /// Decodes one cell; `None` on any out-of-range tag or a non-finite /
+    /// non-positive reaction time.
+    pub fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let fault = match r.u8()? {
+            0 => None,
+            1 => Some(FaultType::RelativeDistance),
+            2 => Some(FaultType::DesiredCurvature),
+            3 => Some(FaultType::Mixed),
+            _ => return None,
+        };
+        let flags = r.u8()?;
+        if flags & !0b111 != 0 {
+            return None;
+        }
+        let aebs = match r.u8()? {
+            0 => AebsMode::Disabled,
+            1 => AebsMode::Compromised,
+            2 => AebsMode::Independent,
+            _ => return None,
+        };
+        let driver_reaction_time = r.f64()?;
+        if !driver_reaction_time.is_finite() || driver_reaction_time <= 0.0 {
+            return None;
+        }
+        Some(Self {
+            fault,
+            interventions: InterventionConfig {
+                driver: flags & 1 != 0,
+                driver_reaction_time,
+                safety_check: flags & 0b10 != 0,
+                aebs,
+                ml: flags & 0b100 != 0,
+            },
+        })
+    }
+}
+
+/// A full campaign job: the sweep parameters plus the cell grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign seed (drives every run's RNG stream derivation).
+    pub campaign_seed: u64,
+    /// Repetitions per scenario × position (the paper uses 10).
+    pub repetitions: u32,
+    /// Per-run step cap override; 0 keeps the platform default (10 000).
+    pub max_steps: u32,
+    /// Scenario subset (bit `i` = `ScenarioId::ALL[i]`);
+    /// [`SCENARIO_MASK_ALL`] sweeps the full S1–S6 grid.
+    pub scenario_mask: u8,
+    /// The cell grid, in submission (= streaming) order.
+    pub cells: Vec<CellSpec>,
+}
+
+/// Version tag leading every serialised [`CampaignSpec`].
+const CAMPAIGN_SPEC_VERSION: u8 = 1;
+
+impl CampaignSpec {
+    /// A full-grid campaign (all scenarios, default run length).
+    #[must_use]
+    pub fn new(campaign_seed: u64, repetitions: u32, cells: Vec<CellSpec>) -> Self {
+        Self {
+            campaign_seed,
+            repetitions,
+            max_steps: 0,
+            scenario_mask: SCENARIO_MASK_ALL,
+            cells,
+        }
+    }
+
+    /// Whether the spec is internally valid (non-empty bounded grid, sane
+    /// mask, at least one repetition).
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        self.repetitions >= 1
+            && !self.cells.is_empty()
+            && self.cells.len() <= MAX_CELLS
+            && self.scenario_mask != 0
+            && self.scenario_mask & !SCENARIO_MASK_ALL == 0
+    }
+
+    /// True when the scenario mask covers the whole S1–S6 grid and the run
+    /// length is the platform default — the precondition for sharing cache
+    /// entries with the CLI harnesses (`table_vi` …).
+    #[must_use]
+    pub fn is_full_grid(&self) -> bool {
+        self.scenario_mask == SCENARIO_MASK_ALL && self.max_steps == 0
+    }
+
+    /// The platform configuration a given cell runs under.
+    #[must_use]
+    pub fn config_for(&self, cell: &CellSpec) -> PlatformConfig {
+        let mut config = PlatformConfig::with_interventions(cell.interventions);
+        if self.max_steps != 0 {
+            config.max_steps = self.max_steps as usize;
+        }
+        config
+    }
+
+    /// Run coordinates of one cell's sweep, in paper order.
+    #[must_use]
+    pub fn run_ids(&self) -> Vec<RunId> {
+        campaign_run_ids_masked(self.repetitions, self.scenario_mask)
+    }
+
+    /// Content fingerprint of one cell's aggregate result. For full-grid
+    /// campaigns this is byte-compatible with
+    /// [`campaign_cell_fingerprint`], so a campaign served over the wire
+    /// hits the same artifact-cache entries the CLI harnesses write (and
+    /// vice versa); masked grids get a disjoint key family.
+    #[must_use]
+    pub fn cell_key(&self, cell: &CellSpec, model: Option<Fingerprint>) -> Fingerprint {
+        let config = self.config_for(cell);
+        let base = campaign_cell_fingerprint(
+            cell.fault,
+            &config,
+            model,
+            self.campaign_seed,
+            self.repetitions,
+        );
+        if self.scenario_mask == SCENARIO_MASK_ALL {
+            base
+        } else {
+            base.write_str("scenario-mask").write_u64(u64::from(self.scenario_mask))
+        }
+    }
+
+    /// Serialises the spec (versioned fixed layout).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = ByteWriter::new();
+        out.u8(CAMPAIGN_SPEC_VERSION);
+        out.u64(self.campaign_seed);
+        out.u32(self.repetitions);
+        out.u32(self.max_steps);
+        out.u8(self.scenario_mask);
+        out.u16(u16::try_from(self.cells.len()).expect("≤ MAX_CELLS cells"));
+        for cell in &self.cells {
+            cell.encode(&mut out);
+        }
+        out.into_bytes()
+    }
+
+    /// Parses [`Self::to_bytes`] output; `None` on version mismatch,
+    /// truncation, trailing bytes, or any field failing validation.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = ByteReader::new(bytes);
+        if r.u8()? != CAMPAIGN_SPEC_VERSION {
+            return None;
+        }
+        let campaign_seed = r.u64()?;
+        let repetitions = r.u32()?;
+        let max_steps = r.u32()?;
+        let scenario_mask = r.u8()?;
+        let count = r.u16()? as usize;
+        if count > MAX_CELLS {
+            return None;
+        }
+        let mut cells = Vec::with_capacity(count);
+        for _ in 0..count {
+            cells.push(CellSpec::decode(&mut r)?);
+        }
+        if !r.exhausted() {
+            return None;
+        }
+        let spec = Self {
+            campaign_seed,
+            repetitions,
+            max_steps,
+            scenario_mask,
+            cells,
+        };
+        spec.validate().then_some(spec)
+    }
+}
+
+/// Encodes a [`RunId`] (scenario index, position index, repetition).
+pub fn encode_run_id(id: RunId, out: &mut ByteWriter) {
+    out.u8(id.scenario.index() as u8);
+    out.u8(id.position.index() as u8);
+    out.u32(id.repetition);
+}
+
+/// Decodes a [`RunId`]; `None` on out-of-range indices.
+pub fn decode_run_id(r: &mut ByteReader<'_>) -> Option<RunId> {
+    let scenario = *ScenarioId::ALL.get(r.u8()? as usize)?;
+    let position = *InitialPosition::ALL.get(r.u8()? as usize)?;
+    let repetition = r.u32()?;
+    Some(RunId {
+        scenario,
+        position,
+        repetition,
+    })
+}
+
+/// Encodes a [`RunRecord`] (every field, bit-exact floats).
+pub fn encode_run_record(rec: &RunRecord, out: &mut ByteWriter) {
+    out.f64(rec.min_ttc);
+    out.f64(rec.t_fcw_at_min_ttc);
+    out.f64(rec.max_brake);
+    out.f64(rec.avg_following_distance);
+    out.f64(rec.min_lane_line_distance);
+    out.u64(rec.steps);
+    out.opt_f64(rec.h1_time);
+    out.opt_f64(rec.h2_time);
+    out.u8(match rec.accident {
+        None => 0,
+        Some(AccidentKind::ForwardCollision) => 1,
+        Some(AccidentKind::LaneViolation) => 2,
+    });
+    out.opt_f64(rec.accident_time);
+    out.opt_f64(rec.fault_start);
+    out.opt_f64(rec.aeb_trigger);
+    out.opt_f64(rec.driver_brake_trigger);
+    out.opt_f64(rec.driver_steer_trigger);
+    out.bool(rec.ml_activated);
+}
+
+/// Decodes a [`RunRecord`]; `None` on truncation or a bad accident tag.
+pub fn decode_run_record(r: &mut ByteReader<'_>) -> Option<RunRecord> {
+    Some(RunRecord {
+        min_ttc: r.f64()?,
+        t_fcw_at_min_ttc: r.f64()?,
+        max_brake: r.f64()?,
+        avg_following_distance: r.f64()?,
+        min_lane_line_distance: r.f64()?,
+        steps: r.u64()?,
+        h1_time: r.opt_f64()?,
+        h2_time: r.opt_f64()?,
+        accident: match r.u8()? {
+            0 => None,
+            1 => Some(AccidentKind::ForwardCollision),
+            2 => Some(AccidentKind::LaneViolation),
+            _ => return None,
+        },
+        accident_time: r.opt_f64()?,
+        fault_start: r.opt_f64()?,
+        aeb_trigger: r.opt_f64()?,
+        driver_brake_trigger: r.opt_f64()?,
+        driver_steer_trigger: r.opt_f64()?,
+        ml_activated: r.bool()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> CampaignSpec {
+        CampaignSpec {
+            campaign_seed: 2025,
+            repetitions: 3,
+            max_steps: 1500,
+            scenario_mask: 0b001001, // S1 + S4
+            cells: vec![
+                CellSpec {
+                    fault: None,
+                    interventions: InterventionConfig::none(),
+                },
+                CellSpec {
+                    fault: Some(FaultType::RelativeDistance),
+                    interventions: InterventionConfig::driver_check_aeb_independent(),
+                },
+                CellSpec {
+                    fault: Some(FaultType::Mixed),
+                    interventions: InterventionConfig::ml_only(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn campaign_spec_roundtrip() {
+        let spec = sample_spec();
+        let bytes = spec.to_bytes();
+        assert_eq!(CampaignSpec::from_bytes(&bytes), Some(spec));
+    }
+
+    #[test]
+    fn campaign_spec_rejects_corruption() {
+        let spec = sample_spec();
+        let bytes = spec.to_bytes();
+        // Truncation at every boundary.
+        for cut in 0..bytes.len() {
+            assert_eq!(CampaignSpec::from_bytes(&bytes[..cut]), None, "cut {cut}");
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(CampaignSpec::from_bytes(&long), None);
+        // Bad version byte.
+        let mut bad = bytes;
+        bad[0] = 9;
+        assert_eq!(CampaignSpec::from_bytes(&bad), None);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut spec = sample_spec();
+        spec.scenario_mask = 0;
+        assert_eq!(CampaignSpec::from_bytes(&spec.to_bytes()), None);
+        let mut spec = sample_spec();
+        spec.scenario_mask = 0xFF; // bits beyond S6
+        assert_eq!(CampaignSpec::from_bytes(&spec.to_bytes()), None);
+        let mut spec = sample_spec();
+        spec.repetitions = 0;
+        assert_eq!(CampaignSpec::from_bytes(&spec.to_bytes()), None);
+        let mut spec = sample_spec();
+        spec.cells.clear();
+        assert_eq!(CampaignSpec::from_bytes(&spec.to_bytes()), None);
+    }
+
+    #[test]
+    fn full_grid_cell_key_matches_cli_fingerprint() {
+        let spec = CampaignSpec::new(
+            2025,
+            10,
+            vec![CellSpec {
+                fault: Some(FaultType::DesiredCurvature),
+                interventions: InterventionConfig::driver_and_check(),
+            }],
+        );
+        assert!(spec.is_full_grid());
+        let cell = spec.cells[0];
+        let direct = campaign_cell_fingerprint(
+            cell.fault,
+            &PlatformConfig::with_interventions(cell.interventions),
+            None,
+            2025,
+            10,
+        );
+        assert_eq!(spec.cell_key(&cell, None), direct);
+        // A masked grid must NOT collide with the full-grid key family.
+        let mut masked = spec.clone();
+        masked.scenario_mask = 0b1;
+        assert_ne!(masked.cell_key(&cell, None), direct);
+    }
+
+    #[test]
+    fn masked_run_ids_are_a_subset() {
+        let spec = sample_spec();
+        let ids = spec.run_ids();
+        assert_eq!(ids.len(), 2 * 2 * 3); // 2 scenarios × 2 positions × 3 reps
+        assert!(ids
+            .iter()
+            .all(|id| matches!(id.scenario, ScenarioId::S1 | ScenarioId::S4)));
+        let full = campaign_run_ids_masked(3, SCENARIO_MASK_ALL);
+        assert!(ids.iter().all(|id| full.contains(id)));
+    }
+
+    #[test]
+    fn run_record_roundtrip_preserves_nan() {
+        let rec = RunRecord {
+            min_ttc: f64::INFINITY,
+            avg_following_distance: f64::NAN,
+            h1_time: Some(10.25),
+            accident: Some(AccidentKind::LaneViolation),
+            accident_time: Some(11.0),
+            ml_activated: true,
+            ..RunRecord::default()
+        };
+        let mut w = ByteWriter::new();
+        encode_run_record(&rec, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_run_record(&mut r).expect("decodes");
+        assert!(r.exhausted());
+        // Debug equality is NaN-tolerant bit-pattern equality here.
+        assert_eq!(format!("{rec:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn run_id_roundtrip_and_bounds() {
+        let id = RunId {
+            scenario: ScenarioId::S5,
+            position: InitialPosition::Far,
+            repetition: 7,
+        };
+        let mut w = ByteWriter::new();
+        encode_run_id(id, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(decode_run_id(&mut r), Some(id));
+        // Out-of-range scenario index.
+        let mut bad = bytes;
+        bad[0] = 6;
+        assert_eq!(decode_run_id(&mut ByteReader::new(&bad)), None);
+    }
+
+    #[test]
+    fn reader_never_reads_past_end() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.u16(), Some(0x0201));
+        assert_eq!(r.u32(), None);
+        assert_eq!(r.u8(), Some(3));
+        assert!(r.exhausted());
+        // Oversized blob length must not allocate or wrap.
+        let mut r = ByteReader::new(&[0xFF, 0xFF, 0xFF, 0xFF, 1]);
+        assert_eq!(r.blob(), None);
+    }
+}

@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod config;
 pub mod experiment;
+pub mod job;
 pub mod platform;
 pub mod replay;
 pub mod tables;
@@ -42,12 +43,19 @@ pub mod tables;
 /// shared atomic work-queue over scoped threads, honouring `ADAS_THREADS`.
 pub use adas_parallel as parallel;
 
+/// Hardened `ADAS_*` environment parsing (re-export of
+/// [`adas_parallel::env`]): trims values, rejects empty/garbage input with
+/// a warning instead of a silent fallback. Shared by every crate that
+/// reads configuration from the environment.
+pub use adas_parallel::env;
+
 pub use cache::{fingerprint_dataset, ArtifactCache, CacheStats, Fingerprint};
 pub use config::{InterventionConfig, PlatformConfig};
 pub use experiment::{
-    campaign_cell_fingerprint, campaign_run_ids, cell_stats_cached, collect_training_data,
-    run_campaign, run_single, CellStats, RunId,
+    campaign_cell_fingerprint, campaign_run_ids, campaign_run_ids_masked, cell_stats_cached,
+    collect_training_data, run_campaign, run_single, CellStats, RunId, SCENARIO_MASK_ALL,
 };
+pub use job::{CampaignSpec, CellSpec};
 pub use platform::{Platform, RunEnd, RunEnd2};
 pub use replay::{
     config_fingerprint, replay_trace, run_campaign_traced, run_single_traced, run_traced,

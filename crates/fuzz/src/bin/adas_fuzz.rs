@@ -75,6 +75,9 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
 }
 
 /// Resolves a setting: explicit flag beats environment beats default.
+/// Flag values are hard errors when malformed; environment values go
+/// through the shared hardened parser (`adas_core::env`), which warns and
+/// falls back to the default on empty or garbage input.
 fn resolve<T: FromStr>(
     flag_value: Option<String>,
     env: &str,
@@ -83,10 +86,9 @@ fn resolve<T: FromStr>(
 where
     T::Err: std::fmt::Display,
 {
-    let source = flag_value.or_else(|| std::env::var(env).ok());
-    match source {
+    match flag_value {
         Some(s) => s.parse().map_err(|e| format!("{env}: {e}")),
-        None => Ok(default),
+        None => Ok(adas_core::env::parse(env, "a number").unwrap_or(default)),
     }
 }
 
@@ -102,11 +104,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 defaults.max_runs,
             )?,
             batch: resolve(take_flag(&mut args, "--batch")?, "ADAS_FUZZ_BATCH", defaults.batch)?,
-            max_secs: match take_flag(&mut args, "--max-secs")?
-                .or_else(|| std::env::var("ADAS_FUZZ_MAX_SECS").ok())
-            {
+            max_secs: match take_flag(&mut args, "--max-secs")? {
                 Some(s) => Some(s.parse::<f64>().map_err(|e| format!("--max-secs: {e}"))?),
-                None => None,
+                None => adas_core::env::parse("ADAS_FUZZ_MAX_SECS", "seconds"),
             },
             shrink_steps: resolve(
                 take_flag(&mut args, "--shrink-steps")?,
@@ -114,10 +114,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 defaults.shrink_steps,
             )?,
         };
-        let dir = PathBuf::from(
-            take_flag(&mut args, "--repro-dir")?
-                .or_else(|| std::env::var("ADAS_FUZZ_DIR").ok())
-                .unwrap_or_else(|| "repros".to_owned()),
+        let dir = take_flag(&mut args, "--repro-dir")?.map_or_else(
+            || adas_core::env::path_or("ADAS_FUZZ_DIR", "repros"),
+            PathBuf::from,
         );
         if !args.is_empty() {
             return Err(format!("unexpected arguments: {args:?}"));

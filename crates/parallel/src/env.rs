@@ -1,0 +1,140 @@
+//! Hardened parsing for the `ADAS_*` environment knobs.
+//!
+//! Every crate used to hand-roll `std::env::var(..).ok().and_then(parse)`
+//! chains, which silently swallowed typos: `ADAS_THREADS=fourteen` fell
+//! back to the autodetected thread count without a word, and
+//! `ADAS_CACHE_DIR=" "` produced a directory literally named `" "`. This
+//! module centralises the policy:
+//!
+//! * values are trimmed before interpretation;
+//! * empty / whitespace-only values are rejected with a warning;
+//! * unparsable values are rejected with a warning naming the variable,
+//!   the offending value, and what was expected — then the caller's
+//!   default applies (loudly, not silently).
+//!
+//! The helpers live in `adas-parallel` because it sits at the bottom of
+//! the workspace dependency graph (everything that reads `ADAS_*` already
+//! depends on it, directly or through `adas-core`, which re-exports this
+//! module as `adas_core::env`).
+
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Reads and trims a variable. Returns `None` when unset; warns and
+/// returns `None` when set but empty (or whitespace-only) — an empty
+/// override is always a mistake, never a meaningful setting.
+#[must_use]
+pub fn raw(name: &str) -> Option<String> {
+    let value = std::env::var(name).ok()?;
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        eprintln!("[env] ignoring {name}=\"\": empty value (unset it instead)");
+        return None;
+    }
+    Some(trimmed.to_owned())
+}
+
+/// Parses a variable into `T`, warning (and returning `None`) on garbage
+/// instead of silently falling back.
+#[must_use]
+pub fn parse<T: FromStr>(name: &str, expected: &str) -> Option<T> {
+    let s = raw(name)?;
+    match s.parse::<T>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("[env] ignoring {name}={s:?}: expected {expected}");
+            None
+        }
+    }
+}
+
+/// [`parse`] with a default for the unset / rejected cases.
+#[must_use]
+pub fn parse_or<T: FromStr>(name: &str, expected: &str, default: T) -> T {
+    parse(name, expected).unwrap_or(default)
+}
+
+/// Interprets a boolean-ish switch. Recognises `1/on/true/yes` and
+/// `0/off/false/no` (case-insensitive); anything else warns and yields
+/// `None` so the caller's default applies.
+#[must_use]
+pub fn switch(name: &str) -> Option<bool> {
+    let s = raw(name)?;
+    match s.to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" | "yes" => Some(true),
+        "0" | "off" | "false" | "no" => Some(false),
+        _ => {
+            eprintln!("[env] ignoring {name}={s:?}: expected on/off/1/0/true/false/yes/no");
+            None
+        }
+    }
+}
+
+/// Reads a path-valued variable, falling back to `default` when unset or
+/// empty. (No parse failure mode: any non-empty trimmed string is a path.)
+#[must_use]
+pub fn path_or(name: &str, default: impl Into<PathBuf>) -> PathBuf {
+    raw(name).map_or_else(|| default.into(), PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests mutating process-global environment state.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn trims_and_rejects_empty() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("ADAS_ENV_TEST_A", "  7  ");
+        assert_eq!(parse::<u32>("ADAS_ENV_TEST_A", "an integer"), Some(7));
+        std::env::set_var("ADAS_ENV_TEST_A", "   ");
+        assert_eq!(parse::<u32>("ADAS_ENV_TEST_A", "an integer"), None);
+        assert_eq!(raw("ADAS_ENV_TEST_A"), None);
+        std::env::remove_var("ADAS_ENV_TEST_A");
+        assert_eq!(raw("ADAS_ENV_TEST_A"), None);
+    }
+
+    #[test]
+    fn garbage_warns_and_defaults() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("ADAS_ENV_TEST_B", "fourteen");
+        assert_eq!(parse_or::<usize>("ADAS_ENV_TEST_B", "an integer", 3), 3);
+        std::env::remove_var("ADAS_ENV_TEST_B");
+    }
+
+    #[test]
+    fn switch_values() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        for (v, want) in [
+            ("1", Some(true)),
+            ("ON", Some(true)),
+            ("Yes", Some(true)),
+            ("0", Some(false)),
+            ("off", Some(false)),
+            ("no", Some(false)),
+            ("maybe", None),
+        ] {
+            std::env::set_var("ADAS_ENV_TEST_C", v);
+            assert_eq!(switch("ADAS_ENV_TEST_C"), want, "value {v:?}");
+        }
+        std::env::remove_var("ADAS_ENV_TEST_C");
+    }
+
+    #[test]
+    fn path_fallback() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("ADAS_ENV_TEST_D");
+        assert_eq!(
+            path_or("ADAS_ENV_TEST_D", "a/b"),
+            std::path::PathBuf::from("a/b")
+        );
+        std::env::set_var("ADAS_ENV_TEST_D", " c/d ");
+        assert_eq!(
+            path_or("ADAS_ENV_TEST_D", "a/b"),
+            std::path::PathBuf::from("c/d")
+        );
+        std::env::remove_var("ADAS_ENV_TEST_D");
+    }
+}

@@ -25,29 +25,165 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod env;
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Upper bound on worker threads (defensive clamp for absurd overrides).
 pub const MAX_THREADS: usize = 256;
 
 /// Resolves the worker count for `jobs` queued items.
 ///
-/// Priority: `ADAS_THREADS` env override (values `< 1` or unparsable are
-/// ignored), then [`std::thread::available_parallelism`], then 4. The
-/// result never exceeds `jobs` (no point spawning idle workers) and is at
-/// least 1.
+/// Priority: `ADAS_THREADS` env override (empty, unparsable, or zero
+/// values are rejected with a warning — see [`env`]), then
+/// [`std::thread::available_parallelism`], then 4. The result never
+/// exceeds `jobs` (no point spawning idle workers) and is at least 1.
 #[must_use]
 pub fn thread_count(jobs: usize) -> usize {
-    let configured = std::env::var("ADAS_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+    let configured = env::parse::<usize>("ADAS_THREADS", "a thread count ≥ 1")
+        .filter(|&n| {
+            if n == 0 {
+                eprintln!("[env] ignoring ADAS_THREADS=0: expected a thread count ≥ 1");
+            }
+            n >= 1
+        })
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4)
         });
     configured.clamp(1, MAX_THREADS).min(jobs.max(1))
+}
+
+/// Shared cancellation + progress instrumentation for one [`map_ctl`]
+/// call.
+///
+/// A long-lived consumer (the `adas-serve` job executor) hands the same
+/// control block to the executor and to its control plane: `cancel()` from
+/// any thread makes workers stop claiming new items, and the `claimed`/
+/// `completed` counters let a `Status` endpoint report live progress
+/// without touching the workers.
+#[derive(Debug, Default)]
+pub struct MapControl {
+    cancelled: AtomicBool,
+    claimed: AtomicUsize,
+    completed: AtomicUsize,
+}
+
+impl MapControl {
+    /// A fresh control block (not cancelled, zero progress).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation: workers finish their in-flight item and stop
+    /// claiming new ones. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) was called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Items claimed by workers so far (monotonic, may overshoot the item
+    /// count by up to one per worker — claims race the queue end).
+    #[must_use]
+    pub fn claimed(&self) -> usize {
+        self.claimed.load(Ordering::Relaxed)
+    }
+
+    /// Items fully computed so far.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.completed.load(Ordering::Relaxed)
+    }
+}
+
+/// [`map_init`] with an external [`MapControl`]: returns `None` when the
+/// map was cancelled before completing (partial results are dropped —
+/// determinism means all-or-nothing), `Some(results)` otherwise.
+///
+/// Cancellation is checked before each claim, so the latency from
+/// `cancel()` to the workers going idle is one item's compute time.
+pub fn map_ctl<T, S, R, I, F>(items: &[T], init: I, f: F, ctl: &MapControl) -> Option<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        // Serial fast path: same claim/check/compute shape as one worker.
+        let mut state = init();
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            if ctl.is_cancelled() {
+                return None;
+            }
+            ctl.claimed.fetch_add(1, Ordering::Relaxed);
+            out.push(f(&mut state, i, item));
+            ctl.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        return if ctl.is_cancelled() { None } else { Some(out) };
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let init = &init;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    if ctl.is_cancelled() {
+                        break;
+                    }
+                    // The shared work-queue: claim the next unprocessed
+                    // item. Relaxed is enough — the scope join provides the
+                    // happens-before edge for the results.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    ctl.claimed.fetch_add(1, Ordering::Relaxed);
+                    local.push((i, f(&mut state, i, &items[i])));
+                    ctl.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            buckets.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+
+    if ctl.is_cancelled() {
+        return None;
+    }
+
+    // Merge per-worker buckets back into item order. Every index in
+    // 0..items.len() appears exactly once across the buckets.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    Some(
+        slots
+            .into_iter()
+            .map(|r| r.expect("work-queue item left unprocessed"))
+            .collect(),
+    )
 }
 
 /// Maps `f` over `items` in parallel with work-stealing scheduling and
@@ -71,59 +207,7 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
-    let threads = thread_count(items.len());
-    if threads <= 1 || items.len() <= 1 {
-        // Serial fast path: same code shape as a single worker draining the
-        // queue, minus thread setup.
-        let mut state = init();
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| f(&mut state, i, item))
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let next = &next;
-            let init = &init;
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let mut state = init();
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    // The shared work-queue: claim the next unprocessed
-                    // item. Relaxed is enough — the scope join provides the
-                    // happens-before edge for the results.
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    local.push((i, f(&mut state, i, &items[i])));
-                }
-                local
-            }));
-        }
-        for handle in handles {
-            buckets.push(handle.join().expect("parallel worker panicked"));
-        }
-    });
-
-    // Merge per-worker buckets back into item order. Every index in
-    // 0..items.len() appears exactly once across the buckets.
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    for (i, r) in buckets.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|r| r.expect("work-queue item left unprocessed"))
-        .collect()
+    map_ctl(items, init, f, &MapControl::new()).expect("uncancelled map completed")
 }
 
 /// [`map_init`] without per-worker scratch state.
@@ -187,6 +271,48 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(map(&empty, |_, &x| x).is_empty());
         assert_eq!(map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn control_counts_progress() {
+        let items: Vec<u32> = (0..40).collect();
+        let ctl = MapControl::new();
+        let out = map_ctl(&items, || (), |(), _, &x| x + 1, &ctl);
+        assert_eq!(out.expect("not cancelled").len(), 40);
+        assert_eq!(ctl.completed(), 40);
+        assert!(ctl.claimed() >= 40);
+        assert!(!ctl.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_before_start_yields_none() {
+        let items: Vec<u32> = (0..1000).collect();
+        let ctl = MapControl::new();
+        ctl.cancel();
+        assert!(map_ctl(&items, || (), |(), _, &x| x, &ctl).is_none());
+        assert_eq!(ctl.completed(), 0);
+    }
+
+    #[test]
+    fn cancel_mid_map_stops_claiming() {
+        let items: Vec<u32> = (0..100_000).collect();
+        let ctl = MapControl::new();
+        let out = map_ctl(
+            &items,
+            || (),
+            |(), i, &x| {
+                if i == 10 {
+                    ctl.cancel();
+                }
+                x
+            },
+            &ctl,
+        );
+        assert!(out.is_none(), "cancelled map must drop partial results");
+        assert!(
+            ctl.completed() < items.len(),
+            "cancellation must stop the sweep early"
+        );
     }
 
     /// Serialises the tests that mutate the process-global `ADAS_THREADS`.

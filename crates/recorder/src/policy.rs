@@ -58,31 +58,46 @@ impl TracePolicy {
         }
     }
 
-    /// Resolves the policy from the environment:
+    /// Resolves the policy from the environment (via the shared hardened
+    /// parser in [`adas_parallel::env`] — values are trimmed, and empty or
+    /// unrecognised settings warn and fall back to the default instead of
+    /// being silently reinterpreted):
     ///
     /// * `ADAS_TRACE` — `off`/`0`/`false`/`no` (default) disables tracing;
-    ///   `hazard`/`1`/`on`/`true` records everything but persists only
-    ///   hazardous or near-miss runs; `all`/`full` persists every run.
+    ///   `hazard`/`1`/`on`/`true`/`yes` records everything but persists
+    ///   only hazardous or near-miss runs; `all`/`full`/`2` persists every
+    ///   run.
     /// * `ADAS_TRACE_DIR` — target directory (default `results/traces`).
     /// * `ADAS_TRACE_RING` — retain only the most recent N steps per run
-    ///   (default: full retention).
+    ///   (default: full retention; 0 is rejected).
     #[must_use]
     pub fn from_env() -> Self {
-        let mode = match std::env::var("ADAS_TRACE") {
-            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-                "" | "off" | "0" | "false" | "no" => TraceMode::Off,
+        let mode = match adas_parallel::env::raw("ADAS_TRACE") {
+            None => TraceMode::Off,
+            Some(v) => match v.to_ascii_lowercase().as_str() {
+                "off" | "0" | "false" | "no" => TraceMode::Off,
+                "hazard" | "1" | "on" | "true" | "yes" => TraceMode::Hazard,
                 "all" | "full" | "2" => TraceMode::All,
-                _ => TraceMode::Hazard,
+                _ => {
+                    eprintln!(
+                        "[env] ignoring ADAS_TRACE={v:?}: expected off/hazard/all"
+                    );
+                    TraceMode::Off
+                }
             },
-            Err(_) => TraceMode::Off,
         };
-        let dir = std::env::var("ADAS_TRACE_DIR")
-            .map_or_else(|_| PathBuf::from("results/traces"), PathBuf::from);
-        let record_mode = std::env::var("ADAS_TRACE_RING")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .map_or(RecordMode::Full, RecordMode::Ring);
+        let dir = adas_parallel::env::path_or("ADAS_TRACE_DIR", "results/traces");
+        let record_mode = adas_parallel::env::parse::<usize>(
+            "ADAS_TRACE_RING",
+            "a step count ≥ 1",
+        )
+        .filter(|&n| {
+            if n == 0 {
+                eprintln!("[env] ignoring ADAS_TRACE_RING=0: expected a step count ≥ 1");
+            }
+            n > 0
+        })
+        .map_or(RecordMode::Full, RecordMode::Ring);
         Self {
             mode,
             dir,

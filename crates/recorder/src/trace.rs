@@ -228,7 +228,17 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), TraceError> {
             .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
         std::process::id()
     ));
-    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    // fsync before the rename: a crash right after the rename must never
+    // leave a durable *name* pointing at torn *contents* (a long-lived
+    // `adas-serve` process would otherwise re-trip on the bad entry at
+    // every warm start until someone deletes it by hand).
+    let write_synced = |tmp: &Path| -> std::io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::File::create(tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    };
+    let result = write_synced(&tmp).and_then(|()| std::fs::rename(&tmp, path));
     if let Err(e) = result {
         let _ = std::fs::remove_file(&tmp);
         return Err(TraceError::Io(format!("{}: {e}", path.display())));
@@ -435,6 +445,19 @@ impl Trace {
     #[must_use]
     pub fn file_name(&self) -> String {
         format!("trace-{}.bin", self.content_hex())
+    }
+
+    /// Where a trace with content hash `hex` would live under `dir` —
+    /// the lookup half of the [`save_in`](Trace::save_in) content
+    /// addressing. `None` when `hex` is not a 16-digit lowercase hex
+    /// string (network input never names arbitrary files).
+    #[must_use]
+    pub fn path_for(dir: &Path, hex: &str) -> Option<PathBuf> {
+        let valid = hex.len() == 16
+            && hex
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+        valid.then(|| dir.join(format!("trace-{hex}.bin")))
     }
 
     /// Writes the trace content-addressed into `dir` (created on demand)

@@ -1,0 +1,397 @@
+//! `adas-serve` — campaign evaluation daemon + client in one binary.
+//!
+//! ```text
+//! adas-serve serve  [--addr HOST:PORT] [--queue N]
+//! adas-serve client submit   [--addr A] [campaign flags]
+//! adas-serve client bench    [--addr A] [campaign flags]
+//! adas-serve client status   JOB [--addr A]
+//! adas-serve client watch    JOB [--addr A]
+//! adas-serve client cancel   JOB [--addr A]
+//! adas-serve client metrics  [--addr A]
+//! adas-serve client replay   HEX [--addr A]
+//! adas-serve client shutdown [--addr A]
+//! ```
+//!
+//! Campaign flags (submit/bench): `--seed N` (default 2025), `--reps N`
+//! (default 10), `--max-steps N` (0 = full runs), `--scenarios S1,S4|all`,
+//! `--faults none,rd,dc,mixed|all`, `--rows none,driver-check,…|all`.
+//!
+//! Defaults come from `ADAS_SERVE_ADDR` / `ADAS_SERVE_QUEUE` where a flag
+//! is not given. Exit codes: 0 success, 1 rejected/diverged/failed, 2
+//! usage or transport error.
+
+use adas_core::job::CellSpec;
+use adas_core::{CampaignSpec, InterventionConfig, SCENARIO_MASK_ALL};
+use adas_scenarios::ScenarioId;
+use adas_serve::{Client, JobState, ReplayOutcome, Server, ServerConfig, Submission};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "adas-serve — long-lived campaign evaluation service
+
+USAGE:
+  adas-serve serve [--addr HOST:PORT] [--queue N]
+      Run the daemon (defaults: ADAS_SERVE_ADDR or 127.0.0.1:4747,
+      ADAS_SERVE_QUEUE or 8). SIGTERM/ctrl-c drains in-flight jobs.
+
+  adas-serve client submit [--addr A] [--seed N] [--reps N]
+                           [--max-steps N] [--scenarios LIST|all]
+                           [--faults LIST|all] [--rows LIST|all]
+      Submit a campaign grid and stream per-cell results.
+      Faults: none rd dc mixed. Rows: none driver driver-check
+      driver-check-aeb-comp driver-check-aeb-indep aeb-comp aeb-indep ml.
+
+  adas-serve client bench [--addr A] [campaign flags]
+      Submit the same campaign twice and report cold vs warm wall time
+      (written to results/SERVE_bench.json).
+
+  adas-serve client status JOB | watch JOB | cancel JOB [--addr A]
+  adas-serve client metrics [--addr A]
+  adas-serve client replay HEX [--addr A]
+  adas-serve client shutdown [--addr A]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Flag-value extractor: returns the value following `flag` and removes
+/// both tokens.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let value = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let result = (|| -> Result<(), String> {
+        let mut config = ServerConfig::from_env();
+        if let Some(addr) = take_flag(&mut args, "--addr")? {
+            config.addr = addr;
+        }
+        if let Some(queue) = take_flag(&mut args, "--queue")? {
+            config.queue_capacity = queue
+                .parse::<usize>()
+                .map_err(|e| format!("--queue: {e}"))?
+                .max(1);
+        }
+        if !args.is_empty() {
+            return Err(format!("unexpected arguments: {args:?}"));
+        }
+        let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        eprintln!("[serve] listening on {addr} (SIGTERM or `client shutdown` to drain + exit)");
+        server.run().map_err(|e| e.to_string())?;
+        eprintln!("[serve] drained, exiting");
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses the campaign flags shared by `submit` and `bench`.
+fn campaign_from_flags(args: &mut Vec<String>) -> Result<CampaignSpec, String> {
+    let seed = match take_flag(args, "--seed")? {
+        Some(s) => s.parse().map_err(|e| format!("--seed: {e}"))?,
+        None => adas_bench::CAMPAIGN_SEED,
+    };
+    let reps = match take_flag(args, "--reps")? {
+        Some(s) => s.parse().map_err(|e| format!("--reps: {e}"))?,
+        None => adas_bench::REPS,
+    };
+    let max_steps = match take_flag(args, "--max-steps")? {
+        Some(s) => s.parse().map_err(|e| format!("--max-steps: {e}"))?,
+        None => 0,
+    };
+    let scenario_mask = match take_flag(args, "--scenarios")?.as_deref() {
+        None => SCENARIO_MASK_ALL,
+        Some("all") => SCENARIO_MASK_ALL,
+        Some(list) => {
+            let mut mask = 0u8;
+            for token in list.split(',') {
+                let token = token.trim().to_uppercase();
+                let bit = ScenarioId::ALL
+                    .iter()
+                    .position(|s| format!("{s:?}") == token)
+                    .ok_or_else(|| format!("--scenarios: unknown scenario `{token}`"))?;
+                mask |= 1 << bit;
+            }
+            mask
+        }
+    };
+    let faults = parse_faults(take_flag(args, "--faults")?.as_deref().unwrap_or("all"))?;
+    let rows = parse_rows(take_flag(args, "--rows")?.as_deref().unwrap_or("none,driver-check"))?;
+    let cells: Vec<CellSpec> = faults
+        .iter()
+        .flat_map(|&fault| {
+            rows.iter().map(move |&interventions| CellSpec {
+                fault,
+                interventions,
+            })
+        })
+        .collect();
+    let spec = CampaignSpec {
+        campaign_seed: seed,
+        repetitions: reps,
+        max_steps,
+        scenario_mask,
+        cells,
+    };
+    if !spec.validate() {
+        return Err("campaign flags produce an invalid spec".into());
+    }
+    Ok(spec)
+}
+
+fn parse_faults(list: &str) -> Result<Vec<Option<adas_attack::FaultType>>, String> {
+    use adas_attack::FaultType;
+    if list == "all" {
+        return Ok(vec![
+            Some(FaultType::RelativeDistance),
+            Some(FaultType::DesiredCurvature),
+            Some(FaultType::Mixed),
+        ]);
+    }
+    list.split(',')
+        .map(|t| match t.trim() {
+            "none" => Ok(None),
+            "rd" => Ok(Some(FaultType::RelativeDistance)),
+            "dc" => Ok(Some(FaultType::DesiredCurvature)),
+            "mixed" => Ok(Some(FaultType::Mixed)),
+            other => Err(format!("--faults: unknown fault `{other}`")),
+        })
+        .collect()
+}
+
+fn parse_rows(list: &str) -> Result<Vec<InterventionConfig>, String> {
+    if list == "all" {
+        return Ok(InterventionConfig::table_vi_rows().to_vec());
+    }
+    list.split(',')
+        .map(|t| match t.trim() {
+            "none" => Ok(InterventionConfig::none()),
+            "driver" => Ok(InterventionConfig::driver_only()),
+            "driver-check" => Ok(InterventionConfig::driver_and_check()),
+            "driver-check-aeb-comp" => Ok(InterventionConfig::driver_check_aeb_compromised()),
+            "driver-check-aeb-indep" => Ok(InterventionConfig::driver_check_aeb_independent()),
+            "aeb-comp" => Ok(InterventionConfig::aeb_compromised_only()),
+            "aeb-indep" => Ok(InterventionConfig::aeb_independent_only()),
+            "ml" => Ok(InterventionConfig::ml_only()),
+            other => Err(format!("--rows: unknown row `{other}`")),
+        })
+        .collect()
+}
+
+fn addr_from_flags(args: &mut Vec<String>) -> Result<String, String> {
+    Ok(take_flag(args, "--addr")?.unwrap_or_else(|| {
+        adas_core::env::raw("ADAS_SERVE_ADDR").unwrap_or_else(|| adas_serve::DEFAULT_ADDR.into())
+    }))
+}
+
+fn connect(addr: &str) -> Result<Client, String> {
+    Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn parse_job_id(args: &mut Vec<String>) -> Result<u64, String> {
+    if args.is_empty() {
+        return Err("expected a JOB id".into());
+    }
+    let token = args.remove(0);
+    token.parse().map_err(|e| format!("job id `{token}`: {e}"))
+}
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    let Some((verb, rest)) = args.split_first() else {
+        eprintln!("client needs a verb\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut args = rest.to_vec();
+    let result = (|| -> Result<ExitCode, String> {
+        match verb.as_str() {
+            "submit" => {
+                let spec = campaign_from_flags(&mut args)?;
+                let addr = addr_from_flags(&mut args)?;
+                expect_empty(&args)?;
+                let mut client = connect(&addr)?;
+                let t0 = Instant::now();
+                let outcome = client
+                    .run_campaign(&spec, |index, stats| {
+                        println!(
+                            "cell {index:>3}: A1 {:6.2}%  A2 {:6.2}%  prevented {:6.2}%  ({} runs)",
+                            stats.a1_pct, stats.a2_pct, stats.prevented_pct, stats.runs
+                        );
+                    })
+                    .map_err(|e| e.to_string())?;
+                match outcome {
+                    Err(Submission::Rejected {
+                        retry_after_ms,
+                        reason,
+                    }) => {
+                        eprintln!("rejected: {reason} (retry after {retry_after_ms} ms)");
+                        Ok(ExitCode::from(1))
+                    }
+                    Err(Submission::Accepted { .. }) => unreachable!("run_campaign streams"),
+                    Ok(result) => {
+                        println!(
+                            "job {} {} · {} cells in {:.2} s",
+                            result.job_id,
+                            result.state,
+                            result.cells.len(),
+                            t0.elapsed().as_secs_f64()
+                        );
+                        Ok(if result.state == JobState::Done {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::from(1)
+                        })
+                    }
+                }
+            }
+            "bench" => {
+                let spec = campaign_from_flags(&mut args)?;
+                let addr = addr_from_flags(&mut args)?;
+                expect_empty(&args)?;
+                let mut client = connect(&addr)?;
+                let mut lap = |label: &str| -> Result<f64, String> {
+                    let t0 = Instant::now();
+                    let outcome = client.run_campaign(&spec, |_, _| {}).map_err(|e| e.to_string())?;
+                    let wall = t0.elapsed().as_secs_f64();
+                    match outcome {
+                        Ok(r) if r.state == JobState::Done => {
+                            println!("{label}: {} cells in {wall:.3} s", r.cells.len());
+                            Ok(wall)
+                        }
+                        Ok(r) => Err(format!("{label} run ended {}", r.state)),
+                        Err(Submission::Rejected { reason, .. }) => {
+                            Err(format!("{label} run rejected: {reason}"))
+                        }
+                        Err(_) => unreachable!("run_campaign streams"),
+                    }
+                };
+                let cold_s = lap("cold")?;
+                let warm_s = lap("warm")?;
+                let speedup = if warm_s > 0.0 { cold_s / warm_s } else { 0.0 };
+                println!("speedup: {speedup:.1}× (cold {cold_s:.3} s → warm {warm_s:.3} s)");
+                adas_bench::write_results_file(
+                    "SERVE_bench.json",
+                    &format!(
+                        "{{\n  \"cells\": {},\n  \"reps\": {},\n  \"cold_s\": {cold_s:.3},\n  \
+                         \"warm_s\": {warm_s:.3},\n  \"speedup\": {speedup:.1}\n}}\n",
+                        spec.cells.len(),
+                        spec.repetitions
+                    ),
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            "status" => {
+                let job_id = parse_job_id(&mut args)?;
+                let addr = addr_from_flags(&mut args)?;
+                expect_empty(&args)?;
+                let status = connect(&addr)?.status(job_id).map_err(|e| e.to_string())?;
+                println!(
+                    "job {job_id}: {} · cells {}/{} · {} runs executed",
+                    status.state, status.cells_done, status.cells_total, status.runs_done
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            "watch" => {
+                let job_id = parse_job_id(&mut args)?;
+                let addr = addr_from_flags(&mut args)?;
+                expect_empty(&args)?;
+                let mut client = connect(&addr)?;
+                loop {
+                    let status = client.status(job_id).map_err(|e| e.to_string())?;
+                    println!(
+                        "job {job_id}: {} · cells {}/{} · {} runs executed",
+                        status.state, status.cells_done, status.cells_total, status.runs_done
+                    );
+                    if status.state.is_terminal() {
+                        return Ok(ExitCode::SUCCESS);
+                    }
+                    std::thread::sleep(Duration::from_millis(500));
+                }
+            }
+            "cancel" => {
+                let job_id = parse_job_id(&mut args)?;
+                let addr = addr_from_flags(&mut args)?;
+                expect_empty(&args)?;
+                let status = connect(&addr)?.cancel(job_id).map_err(|e| e.to_string())?;
+                println!("job {job_id}: cancellation requested (state {})", status.state);
+                Ok(ExitCode::SUCCESS)
+            }
+            "metrics" => {
+                let addr = addr_from_flags(&mut args)?;
+                expect_empty(&args)?;
+                let json = connect(&addr)?.metrics().map_err(|e| e.to_string())?;
+                print!("{json}");
+                Ok(ExitCode::SUCCESS)
+            }
+            "replay" => {
+                if args.is_empty() {
+                    return Err("expected a trace hash".into());
+                }
+                let hex = args.remove(0);
+                let addr = addr_from_flags(&mut args)?;
+                expect_empty(&args)?;
+                let (outcome, detail) =
+                    connect(&addr)?.replay(&hex).map_err(|e| e.to_string())?;
+                println!("{outcome:?}: {detail}");
+                Ok(match outcome {
+                    ReplayOutcome::Identical => ExitCode::SUCCESS,
+                    _ => ExitCode::from(1),
+                })
+            }
+            "shutdown" => {
+                let addr = addr_from_flags(&mut args)?;
+                expect_empty(&args)?;
+                connect(&addr)?.shutdown().map_err(|e| e.to_string())?;
+                println!("shutdown acknowledged; server is draining");
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unknown client verb `{other}`")),
+        }
+    })();
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn expect_empty(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unexpected arguments: {args:?}"))
+    }
+}

@@ -1,0 +1,300 @@
+//! Blocking client for the `adas-serve` wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and drives request → response
+//! exchanges; campaign submission streams per-cell results through a
+//! caller-supplied callback as they arrive.
+
+use crate::protocol::{
+    recv_response, send_request, JobState, ProtocolError, ReplayOutcome, Request, Response,
+};
+use adas_core::job::CellSpec;
+use adas_core::{CampaignSpec, CellStats, RunId};
+use adas_scenarios::RunRecord;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Immediate outcome of a campaign submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submission {
+    /// The job was accepted; results will stream on this connection.
+    Accepted {
+        /// Server-assigned job id.
+        job_id: u64,
+        /// Number of cells that will stream.
+        cells: u32,
+    },
+    /// Backpressure: the queue is full (or the server is draining).
+    Rejected {
+        /// Suggested retry delay.
+        retry_after_ms: u32,
+        /// Server-side reason.
+        reason: String,
+    },
+}
+
+/// A completed campaign as observed by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// `(cell_index, stats)` in arrival (= submission) order.
+    pub cells: Vec<(u32, CellStats)>,
+    /// Terminal job state.
+    pub state: JobState,
+}
+
+/// Fields of a [`Response::StatusReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Cells finished.
+    pub cells_done: u32,
+    /// Cells in the grid.
+    pub cells_total: u32,
+    /// Simulation runs executed so far.
+    pub runs_done: u64,
+}
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to an `adas-serve` daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sets a read timeout for responses (`None` waits indefinitely — the
+    /// default, appropriate for long-streaming campaigns).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn request(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        send_request(&mut self.stream, request)?;
+        recv_response(&mut self.stream)
+    }
+
+    /// Submits a campaign and reads the acceptance/rejection frame. On
+    /// acceptance, follow with [`Self::stream_results`].
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures, or an unexpected response kind.
+    pub fn submit(&mut self, spec: &CampaignSpec) -> Result<Submission, ProtocolError> {
+        match self.request(&Request::SubmitCampaign(spec.clone()))? {
+            Response::Accepted { job_id, cells } => Ok(Submission::Accepted { job_id, cells }),
+            Response::Rejected {
+                retry_after_ms,
+                reason,
+            } => Ok(Submission::Rejected {
+                retry_after_ms,
+                reason,
+            }),
+            Response::Error(e) => Err(ProtocolError::Io(format!("server error: {e}"))),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Consumes the result stream of an accepted campaign, invoking
+    /// `on_cell` for every streamed cell, until the terminal `JobDone`.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures, or an unexpected response kind.
+    pub fn stream_results(
+        &mut self,
+        mut on_cell: impl FnMut(u32, &CellStats),
+    ) -> Result<(Vec<(u32, CellStats)>, JobState), ProtocolError> {
+        let mut cells = Vec::new();
+        loop {
+            match recv_response(&mut self.stream)? {
+                Response::CellResult {
+                    cell_index, stats, ..
+                } => {
+                    on_cell(cell_index, &stats);
+                    cells.push((cell_index, stats));
+                }
+                Response::JobDone { state, .. } => return Ok((cells, state)),
+                other => {
+                    return Err(ProtocolError::Io(format!(
+                        "unexpected mid-stream response kind 0x{:02x}",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Submits a campaign and blocks until it finishes, returning every
+    /// streamed cell. `on_cell` observes results as they arrive.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn run_campaign(
+        &mut self,
+        spec: &CampaignSpec,
+        on_cell: impl FnMut(u32, &CellStats),
+    ) -> Result<Result<CampaignResult, Submission>, ProtocolError> {
+        match self.submit(spec)? {
+            rejected @ Submission::Rejected { .. } => Ok(Err(rejected)),
+            Submission::Accepted { job_id, .. } => {
+                let (cells, state) = self.stream_results(on_cell)?;
+                Ok(Ok(CampaignResult {
+                    job_id,
+                    cells,
+                    state,
+                }))
+            }
+        }
+    }
+
+    /// Executes one fully-specified run on the server, optionally
+    /// returning its serialised flight-recorder trace.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn submit_cell(
+        &mut self,
+        campaign_seed: u64,
+        max_steps: u32,
+        run: RunId,
+        cell: CellSpec,
+        with_trace: bool,
+    ) -> Result<(RunRecord, Option<Vec<u8>>), ProtocolError> {
+        match self.request(&Request::SubmitCell {
+            campaign_seed,
+            max_steps,
+            run,
+            cell,
+            with_trace,
+        })? {
+            Response::RunResult { record, trace } => Ok((record, trace)),
+            Response::Error(e) => Err(ProtocolError::Io(format!("server error: {e}"))),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Queries one job's progress.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures, or a server-side error (unknown
+    /// job).
+    pub fn status(&mut self, job_id: u64) -> Result<JobStatus, ProtocolError> {
+        match self.request(&Request::Status { job_id })? {
+            Response::StatusReport {
+                state,
+                cells_done,
+                cells_total,
+                runs_done,
+            } => Ok(JobStatus {
+                state,
+                cells_done,
+                cells_total,
+                runs_done,
+            }),
+            Response::Error(e) => Err(ProtocolError::Io(format!("server error: {e}"))),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Requests cancellation of a job (idempotent); returns its status at
+    /// the time of the request.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures, or a server-side error.
+    pub fn cancel(&mut self, job_id: u64) -> Result<JobStatus, ProtocolError> {
+        match self.request(&Request::Cancel { job_id })? {
+            Response::StatusReport {
+                state,
+                cells_done,
+                cells_total,
+                runs_done,
+            } => Ok(JobStatus {
+                state,
+                cells_done,
+                cells_total,
+                runs_done,
+            }),
+            Response::Error(e) => Err(ProtocolError::Io(format!("server error: {e}"))),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fetches the live metrics snapshot (JSON text).
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn metrics(&mut self) -> Result<String, ProtocolError> {
+        match self.request(&Request::Metrics)? {
+            Response::MetricsJson(json) => Ok(json),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Asks the server to verify a stored trace by content hash.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn replay(&mut self, trace_hex: &str) -> Result<(ReplayOutcome, String), ProtocolError> {
+        match self.request(&Request::Replay {
+            trace_hex: trace_hex.to_owned(),
+        })? {
+            Response::ReplayVerdict { outcome, detail } => Ok((outcome, detail)),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Requests graceful shutdown (the server drains in-flight jobs).
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Live server metrics: monotonic counters plus per-phase latency
+//! histograms, snapshotted as hand-rolled JSON (the vendored `serde` is a
+//! compile-only stub) for the `Metrics` request and the CI artifact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples with
+/// `latency_ms < 2^i`, the last bucket is open-ended.
+const BUCKETS: usize = 22; // up to ~35 minutes
+
+/// A lock-free log₂-bucketed latency histogram (milliseconds).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Sum in microseconds so sub-millisecond samples still accumulate.
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let ms = us / 1000;
+        let idx = if ms == 0 {
+            0
+        } else {
+            usize::min((64 - ms.leading_zeros()) as usize, BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (upper bucket bound containing it), in ms.
+    fn quantile_ms(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((n as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// JSON object: count, mean/max, coarse quantiles, non-empty buckets.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let count = self.count();
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        let mean_ms = if count == 0 {
+            0.0
+        } else {
+            total_us as f64 / count as f64 / 1000.0
+        };
+        let max_ms = self.max_us.load(Ordering::Relaxed) as f64 / 1000.0;
+        let mut buckets = String::new();
+        let mut first = true;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                buckets.push_str(", ");
+            }
+            first = false;
+            let le = if i + 1 == BUCKETS {
+                "\"inf\"".to_owned()
+            } else {
+                format!("{}", 1u64 << i)
+            };
+            buckets.push_str(&format!("{{ \"le_ms\": {le}, \"count\": {n} }}"));
+        }
+        format!(
+            "{{ \"count\": {count}, \"mean_ms\": {mean_ms:.3}, \"max_ms\": {max_ms:.3}, \
+             \"p50_le_ms\": {}, \"p99_le_ms\": {}, \"buckets\": [{buckets}] }}",
+            self.quantile_ms(0.50),
+            self.quantile_ms(0.99),
+        )
+    }
+}
+
+/// All counters and histograms the `Metrics` request snapshots.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    started: Instant,
+    /// Campaigns accepted into the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Campaigns bounced with backpressure.
+    pub jobs_rejected: AtomicU64,
+    /// Campaigns that streamed every cell.
+    pub jobs_done: AtomicU64,
+    /// Campaigns cancelled before completion.
+    pub jobs_cancelled: AtomicU64,
+    /// Campaigns aborted by internal errors.
+    pub jobs_failed: AtomicU64,
+    /// Cells streamed (any source).
+    pub cells_done: AtomicU64,
+    /// Cells answered from the in-memory memo.
+    pub cells_memo_hits: AtomicU64,
+    /// Cells answered from the on-disk artifact cache.
+    pub cells_disk_hits: AtomicU64,
+    /// Cells computed by running the simulator.
+    pub cells_computed: AtomicU64,
+    /// Individual simulation runs executed (cache hits excluded).
+    pub runs_executed: AtomicU64,
+    /// Single-run (`SubmitCell`) requests served.
+    pub single_runs: AtomicU64,
+    /// Replay verifications served.
+    pub replays: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Frames rejected as malformed / unknown / oversized.
+    pub protocol_errors: AtomicU64,
+    /// Queue-entry to execution-start latency.
+    pub queue_wait: Histogram,
+    /// Per-cell wall time (hit or compute).
+    pub cell_wall: Histogram,
+    /// Lazy model-training wall time.
+    pub model_train: Histogram,
+    /// Instantaneous gauges owned by the server (queued, running).
+    gauges: Mutex<(usize, usize)>,
+}
+
+impl ServeMetrics {
+    /// Fresh metrics with the uptime clock started.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            cells_done: AtomicU64::new(0),
+            cells_memo_hits: AtomicU64::new(0),
+            cells_disk_hits: AtomicU64::new(0),
+            cells_computed: AtomicU64::new(0),
+            runs_executed: AtomicU64::new(0),
+            single_runs: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            queue_wait: Histogram::default(),
+            cell_wall: Histogram::default(),
+            model_train: Histogram::default(),
+            gauges: Mutex::new((0, 0)),
+        }
+    }
+
+    /// Updates the instantaneous queued/running gauges.
+    pub fn set_gauges(&self, queued: usize, running: usize) {
+        *self.gauges.lock().expect("gauges lock") = (queued, running);
+    }
+
+    /// Full JSON snapshot (schema documented in the README). `cache` is the
+    /// artifact cache's own hit/miss accounting, folded into the same
+    /// document so one scrape tells the whole story.
+    #[must_use]
+    pub fn snapshot_json(&self, cache: &adas_core::ArtifactCache) -> String {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed().as_secs_f64();
+        let cells_done = g(&self.cells_done);
+        let cells_per_sec = if uptime > 0.0 {
+            cells_done as f64 / uptime
+        } else {
+            0.0
+        };
+        let hits = g(&self.cells_memo_hits) + g(&self.cells_disk_hits);
+        let hit_rate = if cells_done > 0 {
+            hits as f64 / cells_done as f64
+        } else {
+            0.0
+        };
+        let (queued, running) = *self.gauges.lock().expect("gauges lock");
+        let cs = cache.stats();
+        format!(
+            "{{\n  \"uptime_s\": {uptime:.3},\n  \"jobs\": {{ \"submitted\": {}, \"rejected\": {}, \
+             \"done\": {}, \"cancelled\": {}, \"failed\": {}, \"queued\": {queued}, \
+             \"running\": {running} }},\n  \"cells\": {{ \"done\": {cells_done}, \
+             \"memo_hits\": {}, \"disk_hits\": {}, \"computed\": {}, \
+             \"hit_rate\": {hit_rate:.4}, \"per_sec\": {cells_per_sec:.3} }},\n  \
+             \"runs_executed\": {},\n  \"single_runs\": {},\n  \"replays\": {},\n  \
+             \"connections\": {},\n  \"protocol_errors\": {},\n  \
+             \"artifact_cache\": {{ \"enabled\": {}, \"hits\": {}, \"misses\": {}, \
+             \"writes\": {} }},\n  \"latency\": {{\n    \"queue_wait_ms\": {},\n    \
+             \"cell_wall_ms\": {},\n    \"model_train_ms\": {}\n  }}\n}}\n",
+            g(&self.jobs_submitted),
+            g(&self.jobs_rejected),
+            g(&self.jobs_done),
+            g(&self.jobs_cancelled),
+            g(&self.jobs_failed),
+            g(&self.cells_memo_hits),
+            g(&self.cells_disk_hits),
+            g(&self.cells_computed),
+            g(&self.runs_executed),
+            g(&self.single_runs),
+            g(&self.replays),
+            g(&self.connections),
+            g(&self.protocol_errors),
+            cache.is_enabled(),
+            cs.hits,
+            cs.misses,
+            cs.writes,
+            self.queue_wait.to_json(),
+            self.cell_wall.to_json(),
+            self.model_train.to_json(),
+        )
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(300)); // < 1 ms → bucket 0
+        h.record(Duration::from_millis(3)); // < 4 ms → bucket 2
+        h.record(Duration::from_millis(100)); // < 128 ms → bucket 7
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile_ms(0.5), 4);
+        assert_eq!(h.quantile_ms(0.99), 128);
+        let json = h.to_json();
+        assert!(json.contains("\"count\": 3"), "{json}");
+        assert!(json.contains("\"le_ms\": 4"), "{json}");
+    }
+
+    #[test]
+    fn snapshot_is_wellformed_json_shape() {
+        let m = ServeMetrics::new();
+        m.jobs_submitted.fetch_add(2, Ordering::Relaxed);
+        m.cells_done.fetch_add(5, Ordering::Relaxed);
+        m.cells_memo_hits.fetch_add(5, Ordering::Relaxed);
+        m.set_gauges(1, 1);
+        let json = m.snapshot_json(&adas_core::ArtifactCache::disabled());
+        // Structural sanity: balanced braces, expected keys present.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        for key in [
+            "\"uptime_s\"",
+            "\"jobs\"",
+            "\"cells\"",
+            "\"hit_rate\": 1.0000",
+            "\"queue_wait_ms\"",
+            "\"protocol_errors\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Bounded job queue and job registry.
+//!
+//! The queue is the server's backpressure point: `try_push` never blocks —
+//! a full queue is an immediate, explicit [`Response::Rejected`] to the
+//! client rather than an invisible stall. The single executor thread
+//! blocks on [`JobQueue::pop`] and drains whatever was accepted before the
+//! queue was closed, which is exactly the graceful-shutdown contract.
+//!
+//! [`Response::Rejected`]: crate::protocol::Response::Rejected
+
+use crate::protocol::JobState;
+use adas_core::{CampaignSpec, CellStats};
+use adas_parallel::MapControl;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Progress/result event streamed from the executor to the submitting
+/// connection handler.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// One cell finished (index into the submitted grid).
+    Cell {
+        /// Position in the campaign's cell list.
+        index: u32,
+        /// Aggregate statistics for the cell.
+        stats: CellStats,
+    },
+    /// The job reached a terminal state; no further events follow.
+    Finished(JobState),
+}
+
+/// One accepted campaign: the spec plus the shared progress / cancellation
+/// state the executor, the status endpoint, and the submitting connection
+/// all observe.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id.
+    pub id: u64,
+    /// The submitted campaign.
+    pub spec: CampaignSpec,
+    /// Cancellation flag + live run counters (shared with `map_ctl`).
+    pub ctl: MapControl,
+    /// Lifecycle state.
+    state: Mutex<JobState>,
+    /// Cells fully finished (streamed or about to be).
+    cells_done: std::sync::atomic::AtomicU32,
+    /// Stream back to the submitting connection (dropped when it goes
+    /// away; sends then fail and the executor cancels the job).
+    pub events: Sender<JobEvent>,
+    /// When the job entered the queue (queue-wait latency).
+    pub enqueued: Instant,
+}
+
+impl Job {
+    /// A freshly accepted job in [`JobState::Queued`].
+    #[must_use]
+    pub fn new(id: u64, spec: CampaignSpec, events: Sender<JobEvent>) -> Self {
+        Self {
+            id,
+            spec,
+            ctl: MapControl::new(),
+            state: Mutex::new(JobState::Queued),
+            cells_done: std::sync::atomic::AtomicU32::new(0),
+            events,
+            enqueued: Instant::now(),
+        }
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> JobState {
+        *self.state.lock().expect("job state lock")
+    }
+
+    /// Transitions the lifecycle state.
+    pub fn set_state(&self, s: JobState) {
+        *self.state.lock().expect("job state lock") = s;
+    }
+
+    /// Cells finished so far.
+    #[must_use]
+    pub fn cells_done(&self) -> u32 {
+        self.cells_done.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Marks one more cell finished.
+    pub fn bump_cells_done(&self) {
+        self.cells_done
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Why `try_push` bounced a job.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — explicit backpressure.
+    Full {
+        /// Current capacity, for the client-facing message.
+        capacity: usize,
+    },
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+struct QueueInner {
+    items: VecDeque<Arc<Job>>,
+    closed: bool,
+}
+
+/// Bounded MPSC job queue (mutex + condvar — `std` only).
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` waiting jobs (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting (excludes the one being executed).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// True when no jobs are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking enqueue.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when at capacity (backpressure),
+    /// [`PushError::Closed`] after [`Self::close`].
+    pub fn try_push(&self, job: Arc<Job>) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                capacity: self.capacity,
+            });
+        }
+        inner.items.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue: waits for a job, returns `None` only once the
+    /// queue is closed **and** drained — accepted work always executes.
+    pub fn pop(&self) -> Option<Arc<Job>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.items.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue wait");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, `pop` drains then returns
+    /// `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Id → job map so `Status` / `Cancel` work from any connection.
+/// Terminal jobs are kept (bounded by [`Self::RETAIN`]) so a status query
+/// right after completion still answers.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+}
+
+impl JobRegistry {
+    /// Terminal jobs retained before the oldest are evicted.
+    pub const RETAIN: usize = 256;
+
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an accepted job, evicting old terminal jobs beyond
+    /// [`Self::RETAIN`].
+    pub fn insert(&self, job: Arc<Job>) {
+        let mut jobs = self.jobs.lock().expect("registry lock");
+        if jobs.len() >= Self::RETAIN {
+            let evict: Vec<u64> = jobs
+                .iter()
+                .filter(|(_, j)| j.state().is_terminal())
+                .map(|(id, _)| *id)
+                .collect();
+            for id in evict {
+                jobs.remove(&id);
+            }
+        }
+        jobs.insert(job.id, job);
+    }
+
+    /// Looks up a job by id.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs.lock().expect("registry lock").get(&id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_core::CellSpec;
+    use adas_core::InterventionConfig;
+    use std::sync::mpsc::channel;
+
+    fn job(id: u64) -> Arc<Job> {
+        let spec = CampaignSpec::new(
+            1,
+            1,
+            vec![CellSpec {
+                fault: None,
+                interventions: InterventionConfig::none(),
+            }],
+        );
+        let (tx, _rx) = channel();
+        Arc::new(Job::new(id, spec, tx))
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let q = JobQueue::new(1);
+        assert!(q.try_push(job(1)).is_ok());
+        assert_eq!(q.try_push(job(2)), Err(PushError::Full { capacity: 1 }));
+        // Draining frees the slot.
+        assert_eq!(q.pop().expect("job").id, 1);
+        assert!(q.try_push(job(2)).is_ok());
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q = JobQueue::new(4);
+        q.try_push(job(1)).expect("push");
+        q.try_push(job(2)).expect("push");
+        q.close();
+        assert_eq!(q.try_push(job(3)), Err(PushError::Closed));
+        assert_eq!(q.pop().expect("drain 1").id, 1);
+        assert_eq!(q.pop().expect("drain 2").id, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_wakes_on_close() {
+        let q = Arc::new(JobQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(waiter.join().expect("join").is_none());
+    }
+
+    #[test]
+    fn registry_roundtrip_and_state() {
+        let reg = JobRegistry::new();
+        let j = job(7);
+        reg.insert(Arc::clone(&j));
+        let found = reg.get(7).expect("registered");
+        assert_eq!(found.state(), JobState::Queued);
+        found.set_state(JobState::Running);
+        assert_eq!(j.state(), JobState::Running);
+        assert!(reg.get(8).is_none());
+    }
+}

@@ -1,0 +1,642 @@
+//! The `adas-serve` daemon: accept loop, connection handlers, and the
+//! campaign executor.
+//!
+//! One executor thread drains the bounded [`JobQueue`] and runs campaigns
+//! one at a time; *within* a campaign each cell fans its sweep onto the
+//! work-stealing executor (`adas_parallel::map_ctl`) with the job's
+//! [`MapControl`] shared for cancellation and live progress. The trained
+//! model and the content-addressed artifact cache are resident and shared
+//! across every request, which is where the warm-path speedup comes from.
+//!
+//! Determinism: a cell computed here calls the same `run_single` with the
+//! same per-run RNG derivation as the CLI harnesses, and the executor
+//! merges results by index — outcomes are bit-identical to the CLI path at
+//! any `ADAS_THREADS`.
+
+use crate::metrics::ServeMetrics;
+use crate::protocol::{
+    recv_request, send_response, JobState, ProtocolError, ReplayOutcome, Request, Response,
+};
+use crate::queue::{Job, JobEvent, JobQueue, JobRegistry, PushError};
+use crate::signal;
+use adas_bench::model_fingerprint;
+use adas_core::job::CellSpec;
+use adas_core::{
+    replay_trace, run_single, run_single_traced, ArtifactCache, CampaignSpec, CellStats, RunId,
+};
+use adas_ml::{LstmPredictor, ModelSpec};
+use adas_recorder::{RecordMode, Trace};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default listen address when `ADAS_SERVE_ADDR` is unset.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4747";
+
+/// Default job-queue capacity when `ADAS_SERVE_QUEUE` is unset.
+pub const DEFAULT_QUEUE: usize = 8;
+
+/// How long an idle connection read waits before re-checking shutdown.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Accept-loop poll interval while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Suggested client retry delay attached to backpressure rejections.
+const RETRY_AFTER_MS: u32 = 500;
+
+/// Server construction parameters.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 binds an ephemeral port).
+    pub addr: String,
+    /// Bounded job-queue capacity (≥ 1).
+    pub queue_capacity: usize,
+    /// Artifact cache shared by every request.
+    pub cache: ArtifactCache,
+    /// Directory `Replay` requests resolve trace hashes in.
+    pub trace_dir: PathBuf,
+}
+
+impl ServerConfig {
+    /// Configuration from `ADAS_SERVE_ADDR`, `ADAS_SERVE_QUEUE`,
+    /// `ADAS_CACHE`/`ADAS_CACHE_DIR`, and `ADAS_TRACE_DIR` (all through the
+    /// hardened `adas_core::env` parsers).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self {
+            addr: adas_core::env::raw("ADAS_SERVE_ADDR")
+                .unwrap_or_else(|| DEFAULT_ADDR.to_owned()),
+            queue_capacity: adas_core::env::parse_or(
+                "ADAS_SERVE_QUEUE",
+                "a queue capacity ≥ 1",
+                DEFAULT_QUEUE,
+            )
+            .max(1),
+            cache: ArtifactCache::from_env(),
+            trace_dir: adas_core::env::path_or("ADAS_TRACE_DIR", "results/traces"),
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection handler, and the
+/// executor.
+pub struct Shared {
+    queue: JobQueue,
+    registry: JobRegistry,
+    metrics: ServeMetrics,
+    cache: ArtifactCache,
+    trace_dir: PathBuf,
+    /// Resident trained models, keyed by campaign seed (trained lazily on
+    /// first use, then shared by `Arc` across all requests).
+    models: Mutex<HashMap<u64, Arc<LstmPredictor>>>,
+    /// In-memory cell-result memo keyed by cell fingerprint — the warmest
+    /// tier above the on-disk artifact cache.
+    memo: Mutex<HashMap<u64, CellStats>>,
+    shutdown: AtomicBool,
+    job_ids: AtomicU64,
+}
+
+impl Shared {
+    fn new(config: ServerConfig) -> Self {
+        Self {
+            queue: JobQueue::new(config.queue_capacity),
+            registry: JobRegistry::new(),
+            metrics: ServeMetrics::new(),
+            cache: config.cache,
+            trace_dir: config.trace_dir,
+            models: Mutex::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            job_ids: AtomicU64::new(1),
+        }
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal::triggered()
+    }
+
+    /// Stops accepting work and lets the executor drain what was accepted.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue.close();
+    }
+
+    /// The trained model for `campaign_seed`, training (or loading from
+    /// the artifact cache) on first use. Concurrent first calls may train
+    /// twice; training is deterministic, so both produce identical weights
+    /// and the loser just overwrites with an equal value.
+    fn model_for(&self, campaign_seed: u64) -> Arc<LstmPredictor> {
+        if let Some(m) = self.models.lock().expect("models lock").get(&campaign_seed) {
+            return Arc::clone(m);
+        }
+        let t0 = Instant::now();
+        let model = Arc::new(adas_bench::trained_baseline_cached(
+            &self.cache,
+            campaign_seed,
+            ModelSpec::default(),
+        ));
+        self.metrics.model_train.record(t0.elapsed());
+        self.models
+            .lock()
+            .expect("models lock")
+            .insert(campaign_seed, Arc::clone(&model));
+        model
+    }
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("queue", &self.queue)
+            .field("shutdown", &self.shutdown)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket (fails fast on a busy port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared::new(config)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the daemon until a `Shutdown` request or SIGTERM/SIGINT, then
+    /// drains in-flight jobs and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (per-connection errors are
+    /// handled inline).
+    pub fn run(self) -> std::io::Result<()> {
+        signal::install();
+        self.listener.set_nonblocking(true)?;
+        let shared = Arc::clone(&self.shared);
+        let executor = std::thread::Builder::new()
+            .name("adas-serve-exec".into())
+            .spawn(move || executor_loop(&shared))
+            .expect("spawn executor");
+
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shared.is_shutdown() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let handle = std::thread::Builder::new()
+                        .name("adas-serve-conn".into())
+                        .spawn(move || handle_connection(&shared, stream))
+                        .expect("spawn connection handler");
+                    handlers.push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("[serve] accept error: {e}");
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+            // Reap finished connection threads so the vector stays small.
+            let mut i = 0;
+            while i < handlers.len() {
+                if handlers[i].is_finished() {
+                    let _ = handlers.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Drain: the executor finishes every accepted job, which releases
+        // the streaming handlers; idle handlers notice shutdown within one
+        // read timeout.
+        self.shared.begin_shutdown();
+        let _ = executor.join();
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Executor thread: drains the queue until it is closed *and* empty.
+fn executor_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(shared, &job);
+        }));
+        if result.is_err() {
+            // A panicking cell must not wedge the daemon: mark the job
+            // failed, tell the client, keep serving.
+            eprintln!("[serve] job {} panicked; marked failed", job.id);
+            job.set_state(JobState::Failed);
+            shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.events.send(JobEvent::Finished(JobState::Failed));
+        }
+        shared.metrics.set_gauges(shared.queue.len(), 0);
+    }
+}
+
+/// Runs one accepted campaign, streaming each finished cell to the
+/// submitting connection.
+fn execute_job(shared: &Shared, job: &Arc<Job>) {
+    shared.metrics.queue_wait.record(job.enqueued.elapsed());
+    shared.metrics.set_gauges(shared.queue.len(), 1);
+    job.set_state(JobState::Running);
+    let spec = &job.spec;
+    // Train (or fetch) the resident model once per job, not per cell.
+    let model = spec
+        .cells
+        .iter()
+        .any(|c| c.interventions.ml)
+        .then(|| shared.model_for(spec.campaign_seed));
+    let ids = spec.run_ids();
+
+    let mut outcome = JobState::Done;
+    for (index, cell) in spec.cells.iter().enumerate() {
+        if job.ctl.is_cancelled() {
+            outcome = JobState::Cancelled;
+            break;
+        }
+        let t0 = Instant::now();
+        let Some(stats) = compute_cell(shared, spec, cell, &ids, model.as_ref(), job) else {
+            outcome = JobState::Cancelled;
+            break;
+        };
+        shared.metrics.cell_wall.record(t0.elapsed());
+        shared.metrics.cells_done.fetch_add(1, Ordering::Relaxed);
+        job.bump_cells_done();
+        let sent = job.events.send(JobEvent::Cell {
+            index: index as u32,
+            stats,
+        });
+        if sent.is_err() {
+            // The submitting client is gone — stop burning compute.
+            job.ctl.cancel();
+            outcome = JobState::Cancelled;
+            break;
+        }
+    }
+
+    job.set_state(outcome);
+    let counter = match outcome {
+        JobState::Done => &shared.metrics.jobs_done,
+        JobState::Cancelled => &shared.metrics.jobs_cancelled,
+        _ => &shared.metrics.jobs_failed,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    let _ = job.events.send(JobEvent::Finished(outcome));
+}
+
+/// One cell's statistics, through the memo → artifact-cache → compute
+/// tiers. `None` means the job was cancelled mid-sweep.
+fn compute_cell(
+    shared: &Shared,
+    spec: &CampaignSpec,
+    cell: &CellSpec,
+    ids: &[RunId],
+    model: Option<&Arc<LstmPredictor>>,
+    job: &Arc<Job>,
+) -> Option<CellStats> {
+    let model_used = if cell.interventions.ml { model } else { None };
+    let key = spec.cell_key(cell, model_used.map(|m| model_fingerprint(m)));
+
+    if let Some(stats) = shared.memo.lock().expect("memo lock").get(&key.value()) {
+        shared.metrics.cells_memo_hits.fetch_add(1, Ordering::Relaxed);
+        return Some(stats.clone());
+    }
+    if let Some(stats) = shared
+        .cache
+        .load("cell", key)
+        .and_then(|bytes| CellStats::from_bytes(&bytes))
+    {
+        shared.metrics.cells_disk_hits.fetch_add(1, Ordering::Relaxed);
+        shared
+            .memo
+            .lock()
+            .expect("memo lock")
+            .insert(key.value(), stats.clone());
+        return Some(stats);
+    }
+
+    let config = spec.config_for(cell);
+    let records = adas_parallel::map_ctl(
+        ids,
+        || (),
+        |(), _, id| run_single(*id, cell.fault, &config, model_used, spec.campaign_seed),
+        &job.ctl,
+    )?;
+    shared
+        .metrics
+        .runs_executed
+        .fetch_add(records.len() as u64, Ordering::Relaxed);
+    shared.metrics.cells_computed.fetch_add(1, Ordering::Relaxed);
+    let stats = CellStats::from_records(&records);
+    shared.cache.store("cell", key, &stats.to_bytes());
+    shared
+        .memo
+        .lock()
+        .expect("memo lock")
+        .insert(key.value(), stats.clone());
+    Some(stats)
+}
+
+/// Per-connection loop: request → response(s) until close, protocol
+/// violation, or shutdown.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut stream = stream;
+    loop {
+        match recv_request(&mut stream) {
+            Ok(request) => match handle_request(shared, &mut stream, request) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => break,
+            },
+            Err(ProtocolError::TimedOut) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+            }
+            Err(ProtocolError::Closed | ProtocolError::Io(_)) => break,
+            Err(e) => {
+                // Structural violation: count it, answer it, and drop the
+                // connection — after a framing error the byte stream can
+                // no longer be trusted to resynchronise.
+                shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = send_response(&mut stream, &Response::Error(e.to_string()));
+                break;
+            }
+        }
+    }
+}
+
+/// Dispatches one request. `Ok(false)` closes the connection politely.
+fn handle_request(
+    shared: &Shared,
+    stream: &mut (impl Write + std::io::Read),
+    request: Request,
+) -> std::io::Result<bool> {
+    match request {
+        Request::SubmitCampaign(spec) => handle_submit(shared, stream, spec),
+        Request::SubmitCell {
+            campaign_seed,
+            max_steps,
+            run,
+            cell,
+            with_trace,
+        } => {
+            shared.metrics.single_runs.fetch_add(1, Ordering::Relaxed);
+            let response = run_one_cell(shared, campaign_seed, max_steps, run, &cell, with_trace);
+            send_response(stream, &response)?;
+            Ok(true)
+        }
+        Request::Replay { trace_hex } => {
+            shared.metrics.replays.fetch_add(1, Ordering::Relaxed);
+            let (outcome, detail) = verify_trace(shared, &trace_hex);
+            send_response(stream, &Response::ReplayVerdict { outcome, detail })?;
+            Ok(true)
+        }
+        Request::Status { job_id } => {
+            let response = match shared.registry.get(job_id) {
+                Some(job) => status_of(&job),
+                None => Response::Error(format!("unknown job {job_id}")),
+            };
+            send_response(stream, &response)?;
+            Ok(true)
+        }
+        Request::Cancel { job_id } => {
+            let response = match shared.registry.get(job_id) {
+                Some(job) => {
+                    job.ctl.cancel();
+                    status_of(&job)
+                }
+                None => Response::Error(format!("unknown job {job_id}")),
+            };
+            send_response(stream, &response)?;
+            Ok(true)
+        }
+        Request::Metrics => {
+            let json = shared.metrics.snapshot_json(&shared.cache);
+            send_response(stream, &Response::MetricsJson(json))?;
+            Ok(true)
+        }
+        Request::Shutdown => {
+            send_response(stream, &Response::ShutdownAck)?;
+            shared.begin_shutdown();
+            Ok(false)
+        }
+    }
+}
+
+/// Accepts a campaign into the queue (or bounces it with backpressure) and
+/// streams its results back on this connection.
+fn handle_submit(
+    shared: &Shared,
+    stream: &mut impl Write,
+    spec: CampaignSpec,
+) -> std::io::Result<bool> {
+    if !spec.validate() {
+        send_response(stream, &Response::Error("invalid campaign spec".into()))?;
+        return Ok(true);
+    }
+    let cells = spec.cells.len() as u32;
+    let (events, results) = channel();
+    let job_id = shared.job_ids.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(Job::new(job_id, spec, events));
+
+    match shared.queue.try_push(Arc::clone(&job)) {
+        Err(PushError::Full { capacity }) => {
+            shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            send_response(
+                stream,
+                &Response::Rejected {
+                    retry_after_ms: RETRY_AFTER_MS,
+                    reason: format!("job queue full ({capacity} waiting)"),
+                },
+            )?;
+            return Ok(true);
+        }
+        Err(PushError::Closed) => {
+            send_response(
+                stream,
+                &Response::Rejected {
+                    retry_after_ms: 0,
+                    reason: "server is shutting down".into(),
+                },
+            )?;
+            return Ok(true);
+        }
+        Ok(()) => {}
+    }
+
+    shared.registry.insert(Arc::clone(&job));
+    shared.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.set_gauges(shared.queue.len(), usize::from(job.state() == JobState::Running));
+    send_response(stream, &Response::Accepted { job_id, cells })?;
+
+    // Stream cells as the executor finishes them. The executor always
+    // terminates the stream with `Finished`, including for drained or
+    // cancelled jobs, so this loop cannot hang.
+    loop {
+        match results.recv() {
+            Ok(JobEvent::Cell { index, stats }) => {
+                let sent = send_response(
+                    stream,
+                    &Response::CellResult {
+                        job_id,
+                        cell_index: index,
+                        stats,
+                    },
+                );
+                if sent.is_err() {
+                    // Client went away mid-stream: stop the job.
+                    job.ctl.cancel();
+                    return Ok(false);
+                }
+            }
+            Ok(JobEvent::Finished(state)) => {
+                send_response(stream, &Response::JobDone { job_id, state })?;
+                return Ok(true);
+            }
+            // Sender dropped without Finished — executor died; fail loudly.
+            Err(_) => {
+                send_response(
+                    stream,
+                    &Response::JobDone {
+                        job_id,
+                        state: JobState::Failed,
+                    },
+                )?;
+                return Ok(true);
+            }
+        }
+    }
+}
+
+/// Builds the status response for a job.
+fn status_of(job: &Job) -> Response {
+    Response::StatusReport {
+        state: job.state(),
+        cells_done: job.cells_done(),
+        cells_total: job.spec.cells.len() as u32,
+        runs_done: job.ctl.completed() as u64,
+    }
+}
+
+/// Executes one fully-specified run synchronously.
+fn run_one_cell(
+    shared: &Shared,
+    campaign_seed: u64,
+    max_steps: u32,
+    run: RunId,
+    cell: &CellSpec,
+    with_trace: bool,
+) -> Response {
+    let mut config = adas_core::PlatformConfig::with_interventions(cell.interventions);
+    if max_steps != 0 {
+        config.max_steps = max_steps as usize;
+    }
+    let model = cell.interventions.ml.then(|| shared.model_for(campaign_seed));
+    if with_trace {
+        let fp = model.as_ref().map_or(0, |m| model_fingerprint(m).value());
+        let (record, trace) = run_single_traced(
+            run,
+            cell.fault,
+            &config,
+            model.as_ref(),
+            fp,
+            campaign_seed,
+            RecordMode::Full,
+        );
+        Response::RunResult {
+            record,
+            trace: Some(trace.to_bytes()),
+        }
+    } else {
+        let record = run_single(run, cell.fault, &config, model.as_ref(), campaign_seed);
+        Response::RunResult {
+            record,
+            trace: None,
+        }
+    }
+}
+
+/// Resolves a trace hash in the server's trace directory and verifies it
+/// by bit-exact re-execution.
+fn verify_trace(shared: &Shared, trace_hex: &str) -> (ReplayOutcome, String) {
+    let Some(path) = Trace::path_for(&shared.trace_dir, trace_hex) else {
+        return (
+            ReplayOutcome::NotFound,
+            format!("malformed trace hash {trace_hex:?} (want 16 lowercase hex digits)"),
+        );
+    };
+    if !path.exists() {
+        return (
+            ReplayOutcome::NotFound,
+            format!("no trace {trace_hex} under {}", shared.trace_dir.display()),
+        );
+    }
+    let trace = match Trace::load(&path) {
+        Ok(t) => t,
+        Err(e) => return (ReplayOutcome::Error, format!("cannot load trace: {e}")),
+    };
+    // Supply the resident model when the recording demands one we have.
+    let needed = trace.header.model_fingerprint;
+    let models = shared.models.lock().expect("models lock");
+    let ml = (needed != 0)
+        .then(|| {
+            models
+                .values()
+                .find(|m| model_fingerprint(m).value() == needed)
+                .map(|m| (m, needed))
+        })
+        .flatten();
+    match replay_trace(&trace, ml, None) {
+        Ok(report) if report.report.is_identical() => {
+            (ReplayOutcome::Identical, trace.identity())
+        }
+        Ok(report) => {
+            let mut detail = report.report.verdict.to_string();
+            if let Some(outcome) = &report.report.outcome_mismatch {
+                detail.push_str(&format!("; outcome mismatch: {outcome}"));
+            }
+            (ReplayOutcome::Diverged, detail)
+        }
+        Err(e) => (ReplayOutcome::Error, e.to_string()),
+    }
+}
