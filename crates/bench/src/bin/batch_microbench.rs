@@ -1,0 +1,194 @@
+//! Microbenchmark for the batched SoA execution path: scalar vs batched
+//! LSTM inference step, and scalar vs lockstep closed-loop platform
+//! stepping, across batch widths. Hand-rolled timing loops (the vendored
+//! criterion is an API stub) with a fixed wall budget per measurement.
+//!
+//! Everything runs single-worker (`ADAS_THREADS=1`): the point is the
+//! per-core effect of the weights-stationary batched kernels, not thread
+//! scaling. Usage: `batch_microbench` (no arguments).
+
+use adas_attack::FaultType;
+use adas_bench::CAMPAIGN_SEED;
+use adas_core::parallel::MapControl;
+use adas_core::{
+    run_ids_ctl, InterventionConfig, PlatformConfig, RunId, TextTable,
+};
+use adas_ml::{LstmPredictor, ModelSpec, FEATURE_DIM};
+use adas_scenarios::{InitialPosition, ScenarioId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WIDTHS: [usize; 6] = [1, 4, 8, 16, 32, 64];
+/// Wall budget per timed measurement.
+const BUDGET: Duration = Duration::from_millis(400);
+
+/// Deterministic feature filler: distinct per (lane, step, column) so the
+/// optimiser cannot hoist anything, cheap enough to not perturb timing.
+fn fill_x(x: &mut [f64], lane_base: usize, step: usize) {
+    for (i, v) in x.iter_mut().enumerate() {
+        let n = (lane_base + i).wrapping_mul(2654435761).wrapping_add(step);
+        *v = f64::from((n % 2003) as u32) / 2003.0 - 0.5;
+    }
+}
+
+/// Scalar inference: one `step_with` per lane per tick. Returns ns per
+/// lane-step.
+fn lstm_scalar(model: &LstmPredictor, width: usize) -> f64 {
+    let mut states: Vec<_> = (0..width).map(|_| model.init_state()).collect();
+    let mut scratch = model.infer_scratch();
+    let mut x = [0.0f64; FEATURE_DIM];
+    let mut sink = 0.0f64;
+    let mut steps = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < BUDGET {
+        for _ in 0..64 {
+            for (lane, state) in states.iter_mut().enumerate() {
+                fill_x(&mut x, lane * FEATURE_DIM, steps as usize);
+                let y = model.step_with(&x, state, &mut scratch);
+                sink += y[0];
+            }
+            steps += width as u64;
+        }
+    }
+    std::hint::black_box(sink);
+    start.elapsed().as_nanos() as f64 / steps as f64
+}
+
+/// Batched inference: one `step_batch` serving all lanes per tick.
+/// Returns ns per lane-step.
+fn lstm_batched(model: &LstmPredictor, width: usize) -> f64 {
+    let mut state = model.batch_state(width);
+    let mut scratch = model.batch_scratch(width);
+    let mut x = vec![0.0f64; FEATURE_DIM * width];
+    let mut sink = 0.0f64;
+    let mut steps = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < BUDGET {
+        for _ in 0..64 {
+            fill_x(&mut x, 0, steps as usize);
+            model.step_batch(&x, &mut state, &mut scratch);
+            sink += scratch.output(0)[0];
+            steps += width as u64;
+        }
+    }
+    std::hint::black_box(sink);
+    start.elapsed().as_nanos() as f64 / steps as f64
+}
+
+/// Enough campaign run IDs to keep `width` lanes mostly occupied.
+fn ids_for(width: usize) -> Vec<RunId> {
+    let runs = (3 * width).max(24);
+    let mut out = Vec::with_capacity(runs);
+    let mut rep = 0u32;
+    'fill: loop {
+        for scenario in ScenarioId::ALL {
+            for position in [InitialPosition::Near, InitialPosition::Far] {
+                if out.len() == runs {
+                    break 'fill;
+                }
+                out.push(RunId {
+                    scenario,
+                    position,
+                    repetition: rep,
+                });
+            }
+        }
+        rep += 1;
+    }
+    out
+}
+
+/// Full closed-loop campaign runs through `run_ids_ctl` at the given
+/// width. Returns (lane-steps per second, runs).
+fn closed_loop(
+    ids: &[RunId],
+    cfg: &PlatformConfig,
+    model: Option<&Arc<LstmPredictor>>,
+    width: usize,
+) -> (f64, usize) {
+    let ctl = MapControl::new();
+    let start = Instant::now();
+    let records = run_ids_ctl(
+        ids,
+        Some(FaultType::Mixed),
+        cfg,
+        model,
+        CAMPAIGN_SEED,
+        width,
+        &ctl,
+    )
+    .expect("uncancelled");
+    let wall = start.elapsed().as_secs_f64();
+    let steps: u64 = records.iter().map(|r| r.steps).sum();
+    (steps as f64 / wall, records.len())
+}
+
+fn main() {
+    // Single worker: isolate the kernel effect from thread scaling.
+    std::env::set_var("ADAS_THREADS", "1");
+
+    println!("== Batched LSTM inference step (ModelSpec::default, untrained weights) ==\n");
+    let model = LstmPredictor::new(ModelSpec::default());
+    // Warm up code + caches once before timing.
+    let _ = lstm_scalar(&model, 4);
+    let _ = lstm_batched(&model, 4);
+    let mut table = TextTable::new([
+        "width",
+        "scalar ns/step",
+        "batched ns/step",
+        "speedup",
+    ]);
+    for width in WIDTHS {
+        let s = lstm_scalar(&model, width);
+        let b = lstm_batched(&model, width);
+        table.row([
+            format!("{width}"),
+            format!("{s:.0}"),
+            format!("{b:.0}"),
+            format!("{:.2}x", s / b),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("\n== Closed-loop platform stepping (Mixed fault, 1 worker) ==\n");
+    let mut no_ml_cfg = PlatformConfig::with_interventions(InterventionConfig::driver_and_check());
+    no_ml_cfg.max_steps = 1_000;
+    let mut ml_cfg = PlatformConfig::with_interventions(InterventionConfig::ml_only());
+    ml_cfg.max_steps = 1_000;
+    let trained = Arc::new(adas_bench::trained_baseline_cached(
+        &adas_core::ArtifactCache::from_env(),
+        CAMPAIGN_SEED,
+        ModelSpec::default(),
+    ));
+
+    let mut table = TextTable::new([
+        "width",
+        "no-ML ksteps/s",
+        "no-ML vs scalar",
+        "ML ksteps/s",
+        "ML vs scalar",
+    ]);
+    let mut scalar_no_ml = 0.0;
+    let mut scalar_ml = 0.0;
+    for width in WIDTHS {
+        let ids = ids_for(width);
+        let (no_ml, _) = closed_loop(&ids, &no_ml_cfg, None, width);
+        let (ml, _) = closed_loop(&ids, &ml_cfg, Some(&trained), width);
+        if width == 1 {
+            scalar_no_ml = no_ml;
+            scalar_ml = ml;
+        }
+        table.row([
+            format!("{width}"),
+            format!("{:.0}", no_ml / 1e3),
+            format!("{:.2}x", no_ml / scalar_no_ml),
+            format!("{:.0}", ml / 1e3),
+            format!("{:.2}x", ml / scalar_ml),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "\nwidth=1 rows are the scalar path (run_ids_ctl falls back to \
+         per-run stepping); speedups are per-core."
+    );
+}

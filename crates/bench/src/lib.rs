@@ -111,21 +111,24 @@ pub fn trained_baseline_cached(
 }
 
 /// Wall-clock phase accounting for a harness run, emitted as
-/// `results/BENCH_campaign.json` (total and per-phase seconds, executed
-/// runs, runs/sec, worker threads, cache counters).
+/// `results/BENCH_campaign.json` (total and per-phase seconds + runs +
+/// runs/sec, worker threads, lockstep batch width and lane occupancy,
+/// cache counters).
 #[derive(Debug)]
 pub struct PhaseTimer {
     started: Instant,
-    phases: Vec<(String, f64)>,
-    current: Option<(String, Instant)>,
+    phases: Vec<(String, f64, u64)>,
+    current: Option<(String, Instant, u64)>,
     executed_runs: u64,
     trace: Option<(String, u64, u64)>,
 }
 
 impl PhaseTimer {
-    /// Starts the clock.
+    /// Starts the clock (and zeroes the process-wide batch-occupancy
+    /// counters, so the emitted occupancy covers exactly this harness run).
     #[must_use]
     pub fn new() -> Self {
+        adas_core::batch::reset_stats();
         Self {
             started: Instant::now(),
             phases: Vec::new(),
@@ -144,15 +147,19 @@ impl PhaseTimer {
     }
 
     fn close_current(&mut self) {
-        if let Some((name, since)) = self.current.take() {
-            self.phases.push((name, since.elapsed().as_secs_f64()));
+        if let Some((name, since, runs_at_start)) = self.current.take() {
+            self.phases.push((
+                name,
+                since.elapsed().as_secs_f64(),
+                self.executed_runs - runs_at_start,
+            ));
         }
     }
 
     /// Ends the running phase (if any) and starts a new one.
     pub fn phase(&mut self, name: &str) {
         self.close_current();
-        self.current = Some((name.to_owned(), Instant::now()));
+        self.current = Some((name.to_owned(), Instant::now(), self.executed_runs));
     }
 
     /// Records `n` simulation runs actually executed (cache hits don't
@@ -180,12 +187,26 @@ impl PhaseTimer {
             "  \"threads\": {},\n",
             adas_core::parallel::thread_count(usize::MAX)
         ));
+        let batch = adas_core::batch::stats_snapshot();
         json.push_str(&format!(
-            "  \"cache\": {{ \"enabled\": {}, \"hits\": {}, \"misses\": {}, \"writes\": {} }},\n",
+            "  \"batch\": {{ \"width\": {}, \"ticks\": {}, \"lane_steps\": {}, \
+             \"slot_steps\": {}, \"occupancy\": {} }},\n",
+            adas_core::parallel::batch_width(),
+            batch.ticks,
+            batch.lane_steps,
+            batch.slot_steps,
+            batch
+                .occupancy()
+                .map_or_else(|| "null".to_owned(), |o| format!("{o:.4}")),
+        ));
+        json.push_str(&format!(
+            "  \"cache\": {{ \"enabled\": {}, \"hits\": {}, \"misses\": {}, \"writes\": {}, \
+             \"bypasses\": {} }},\n",
             cache.is_enabled(),
             stats.hits,
             stats.misses,
-            stats.writes
+            stats.writes,
+            stats.bypasses
         ));
         if let Some((mode, recorded, persisted)) = &self.trace {
             json.push_str(&format!(
@@ -195,7 +216,7 @@ impl PhaseTimer {
         }
         json.push_str("  \"phases\": [\n");
         let n = self.phases.len();
-        for (i, (name, secs)) in self.phases.iter().enumerate() {
+        for (i, (name, secs, runs)) in self.phases.iter().enumerate() {
             let comma = if i + 1 < n { "," } else { "" };
             let escaped: String = name
                 .chars()
@@ -204,8 +225,14 @@ impl PhaseTimer {
                     _ => vec![c],
                 })
                 .collect();
+            let phase_rps = if *secs > 0.0 {
+                *runs as f64 / secs
+            } else {
+                0.0
+            };
             json.push_str(&format!(
-                "    {{ \"name\": \"{escaped}\", \"wall_s\": {secs:.3} }}{comma}\n"
+                "    {{ \"name\": \"{escaped}\", \"wall_s\": {secs:.3}, \"runs\": {runs}, \
+                 \"runs_per_sec\": {phase_rps:.2} }}{comma}\n"
             ));
         }
         json.push_str("  ]\n}\n");

@@ -120,7 +120,12 @@ impl fmt::Display for Fingerprint {
     }
 }
 
-/// Hit/miss/write counters for one [`ArtifactCache`] instance.
+/// Hit/miss/write/bypass counters for one [`ArtifactCache`] instance.
+///
+/// Invariant (when every consumer accounts honestly): each successful
+/// store follows either a miss (read-through population) or a declared
+/// bypass (a consumer that recomputed without consulting the cache), so
+/// `writes <= misses + bypasses` up to store failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Successful loads.
@@ -129,6 +134,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Successful stores.
     pub writes: u64,
+    /// Computations that skipped the lookup on purpose (e.g. a traced
+    /// campaign must re-execute to capture traces even when the aggregate
+    /// is cached) and stored their result directly.
+    pub bypasses: u64,
 }
 
 /// A content-addressed blob store on disk (see module docs).
@@ -141,6 +150,7 @@ pub struct ArtifactCache {
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
+    bypasses: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -152,6 +162,7 @@ impl ArtifactCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
         }
     }
 
@@ -163,6 +174,7 @@ impl ArtifactCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
         }
     }
 
@@ -290,6 +302,16 @@ impl ArtifactCache {
         value
     }
 
+    /// Declares one deliberate cache bypass: the caller recomputed a
+    /// cacheable artifact without a prior [`Self::load`] (because the
+    /// computation has side effects the cached aggregate cannot replay —
+    /// e.g. trace capture) and will [`Self::store`] the fresh result.
+    /// Without this, such stores would read as `writes > hits + misses`,
+    /// which looks like corrupt accounting.
+    pub fn note_bypass(&self) {
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -297,6 +319,7 @@ impl ArtifactCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
         }
     }
 }
@@ -372,6 +395,24 @@ mod tests {
         assert_eq!(cache.load("model", key).as_deref(), Some(&b"payload"[..]));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bypass_accounting_balances_the_books() {
+        let dir = temp_dir("bypass");
+        let cache = ArtifactCache::at(&dir);
+        // A traced-grid-shaped interaction: recompute without a lookup,
+        // declare the bypass, store the fresh aggregate.
+        for i in 0..3u64 {
+            let key = Fingerprint::new().write_u64(i);
+            cache.note_bypass();
+            assert!(cache.store("cell", key, &i.to_le_bytes()));
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert_eq!((stats.writes, stats.bypasses), (3, 3));
+        assert!(stats.writes <= stats.misses + stats.bypasses);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

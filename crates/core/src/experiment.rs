@@ -45,6 +45,20 @@ pub fn run_single(
     ml_model: Option<&Arc<LstmPredictor>>,
     campaign_seed: u64,
 ) -> RunRecord {
+    build_platform(id, fault, config, ml_model, campaign_seed).run()
+}
+
+/// Constructs the fully-wired platform for one run: the RNG derivation,
+/// scenario build, fault injector, and ML mitigation shared by
+/// [`run_single`], the traced executor, and the lockstep batch driver —
+/// one construction path means one place where run identity is defined.
+pub(crate) fn build_platform(
+    id: RunId,
+    fault: Option<FaultType>,
+    config: &PlatformConfig,
+    ml_model: Option<&Arc<LstmPredictor>>,
+    campaign_seed: u64,
+) -> Platform {
     let mut setup_rng = DeterministicRng::for_run(
         campaign_seed,
         id.scenario.index() as u64,
@@ -59,8 +73,7 @@ pub fn run_single(
     let ml = ml_model
         .filter(|_| config.interventions.ml)
         .map(|m| MlMitigator::new(Arc::clone(m), MitigationConfig::default()));
-    let mut platform = Platform::new(&setup, *config, injector, ml, &mut setup_rng);
-    platform.run()
+    Platform::new(&setup, *config, injector, ml, &mut setup_rng)
 }
 
 /// Bitmask selecting every scenario (bit `i` = `ScenarioId::ALL[i]`).
@@ -98,9 +111,49 @@ pub fn campaign_run_ids_masked(repetitions: u32, mask: u8) -> Vec<RunId> {
     ids
 }
 
+/// Executes an explicit set of runs at the given lockstep batch `width`,
+/// honouring `ctl` for cancellation (all-or-nothing: `None` when
+/// cancelled, like [`adas_parallel::map_ctl`]).
+///
+/// `width <= 1` selects the scalar per-run path; wider widths drive the
+/// structure-of-arrays lockstep executor in [`crate::batch`]. Per-run
+/// results are bit-identical either way, so callers may pick width purely
+/// on throughput grounds (`ADAS_BATCH` via
+/// [`adas_parallel::batch_width`]).
+#[must_use]
+pub fn run_ids_ctl(
+    ids: &[RunId],
+    fault: Option<FaultType>,
+    config: &PlatformConfig,
+    ml_model: Option<&Arc<LstmPredictor>>,
+    campaign_seed: u64,
+    width: usize,
+    ctl: &crate::parallel::MapControl,
+) -> Option<Vec<RunRecord>> {
+    if width <= 1 {
+        return crate::parallel::map_ctl(
+            ids,
+            || (),
+            |(), _, id| run_single(*id, fault, config, ml_model, campaign_seed),
+            ctl,
+        );
+    }
+    let model = ml_model.filter(|_| config.interventions.ml);
+    crate::batch::run_lockstep_ctl(
+        ids,
+        width,
+        model,
+        |_, id| build_platform(*id, fault, config, model, campaign_seed),
+        |_, _, _, platform| platform.record(),
+        ctl,
+    )
+}
+
 /// Runs a full campaign cell: every scenario × both positions ×
-/// `repetitions`, scheduled by the work-stealing executor. Results are
-/// returned in sweep order regardless of thread count or scheduling.
+/// `repetitions`, scheduled by the work-stealing executor at the
+/// environment-selected lockstep batch width (`ADAS_BATCH`). Results are
+/// returned in sweep order regardless of thread count, batch width, or
+/// scheduling.
 #[must_use]
 pub fn run_campaign(
     fault: Option<FaultType>,
@@ -109,10 +162,38 @@ pub fn run_campaign(
     campaign_seed: u64,
     repetitions: u32,
 ) -> Vec<(RunId, RunRecord)> {
+    run_campaign_with_width(
+        fault,
+        config,
+        ml_model,
+        campaign_seed,
+        repetitions,
+        crate::parallel::batch_width(),
+    )
+}
+
+/// [`run_campaign`] at an explicit lockstep batch width (the equivalence
+/// suite sweeps widths without racing on the process environment).
+#[must_use]
+pub fn run_campaign_with_width(
+    fault: Option<FaultType>,
+    config: &PlatformConfig,
+    ml_model: Option<&Arc<LstmPredictor>>,
+    campaign_seed: u64,
+    repetitions: u32,
+    width: usize,
+) -> Vec<(RunId, RunRecord)> {
     let ids = campaign_run_ids(repetitions);
-    let records = crate::parallel::map(&ids, |_, id| {
-        run_single(*id, fault, config, ml_model, campaign_seed)
-    });
+    let records = run_ids_ctl(
+        &ids,
+        fault,
+        config,
+        ml_model,
+        campaign_seed,
+        width,
+        &crate::parallel::MapControl::new(),
+    )
+    .expect("uncancelled campaign completed");
     ids.into_iter().zip(records).collect()
 }
 

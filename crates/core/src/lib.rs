@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod config;
 pub mod experiment;
@@ -49,16 +50,19 @@ pub use adas_parallel as parallel;
 /// reads configuration from the environment.
 pub use adas_parallel::env;
 
+pub use batch::{run_lockstep, run_lockstep_ctl, BatchStats};
 pub use cache::{fingerprint_dataset, ArtifactCache, CacheStats, Fingerprint};
 pub use config::{InterventionConfig, PlatformConfig};
 pub use experiment::{
     campaign_cell_fingerprint, campaign_run_ids, campaign_run_ids_masked, cell_stats_cached,
-    collect_training_data, run_campaign, run_single, CellStats, RunId, SCENARIO_MASK_ALL,
+    collect_training_data, run_campaign, run_campaign_with_width, run_ids_ctl, run_single,
+    CellStats, RunId, SCENARIO_MASK_ALL,
 };
 pub use job::{CampaignSpec, CellSpec};
 pub use platform::{Platform, RunEnd, RunEnd2};
 pub use replay::{
-    config_fingerprint, replay_trace, run_campaign_traced, run_single_traced, run_traced,
-    trace_header, Perturbation, ReplayError, ReplayReport, TraceSink,
+    config_fingerprint, replay_trace, run_campaign_traced, run_campaign_traced_with_width,
+    run_single_traced, run_traced, trace_header, Perturbation, ReplayError, ReplayReport,
+    TraceSink,
 };
 pub use tables::{fmt_opt_time, fmt_pct, TextTable};

@@ -15,17 +15,18 @@
 
 use crate::config::PlatformConfig;
 use adas_attack::{FaultContext, FaultInjector};
-use adas_control::AdasController;
-use adas_ml::{ControlTarget, MlMitigator, StateFeatures};
+use adas_control::{AdasCommand, AdasController};
+use adas_ml::{ControlTarget, MlMitigator, StateFeatures, FEATURE_DIM, TARGET_DIM};
 use adas_perception::{PerceptionEmulator, PerceptionFrame};
 use adas_safety::{
-    arbitrate, Aebs, AebsConfig, AebsMode, ArbiterInputs, CommandSource, DriverConfig,
-    DriverInputs, DriverModel, Ldw, LdwConfig, SafetyCheck, SafetyCheckConfig,
+    arbitrate, Aebs, AebsConfig, AebsMode, AebsOutput, ArbiterInputs, CommandSource,
+    DriverAction, DriverConfig, DriverInputs, DriverModel, Ldw, LdwConfig, SafetyCheck,
+    SafetyCheckConfig,
 };
 use adas_recorder::TraceWriter;
 use adas_scenarios::{HazardMonitor, RunMetrics, RunRecord, ScenarioSetup};
 use adas_simulator::{
-    DeterministicRng, TraceRecorder, TraceSample, World, WorldConfig,
+    DeterministicRng, LeadObservation, TraceRecorder, TraceSample, World, WorldConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -153,7 +154,25 @@ impl Platform {
 
     /// Executes one 10 ms control cycle. Returns the latest perception
     /// frame (post fault injection) for inspection.
+    ///
+    /// Composed of [`Self::begin_step`] (stages 1–7 up to the ML feature
+    /// encode), the scalar LSTM forward, and [`Self::finish_step`]
+    /// (mitigation decision, arbitration, actuation, monitors) — the same
+    /// seams the lockstep batch driver uses, so the scalar and batched
+    /// paths execute identical per-run operation sequences.
     pub fn step(&mut self) -> PerceptionFrame {
+        let pending = self.begin_step();
+        let ml_y = match (self.ml.as_mut(), pending.ml_input.as_ref()) {
+            (Some(ml), Some(input)) => Some(ml.forward(&input.x)),
+            _ => None,
+        };
+        self.finish_step(pending, ml_y)
+    }
+
+    /// Stages 1–7 of one control cycle: perception + fault injection, ADAS
+    /// control, safety check, AEBS, LDW, driver model, and the ML feature
+    /// encode — everything up to (but not including) the LSTM forward.
+    pub(crate) fn begin_step(&mut self) -> PendingCycle {
         let dt = adas_simulator::units::SIM_DT;
         let time = self.world.time();
 
@@ -214,33 +233,82 @@ impl Platform {
             None => adas_safety::DriverAction::default(),
         };
 
-        // 7. ML mitigation (Algorithm 1) on fault-free redundant state.
-        let ml_cmd = match self.ml.as_mut() {
-            Some(ml) => {
-                let features = StateFeatures {
-                    ego_speed: ego_state.v,
-                    lead_distance: truth.map_or(f64::INFINITY, |o| o.distance),
-                    closing_speed: truth.map_or(0.0, |o| o.closing_speed),
-                    left_line: self.world.road().lane_width() / 2.0 - ego_state.d,
-                    right_line: self.world.road().lane_width() / 2.0 + ego_state.d,
-                    curvature: self.world.road().curvature_at(ego_state.s),
-                    heading: ego_state.psi,
-                    prev_accel: self.last_executed.accel,
-                    prev_steer: self.last_executed.steer,
-                };
-                let op_out = ControlTarget {
+        // 7 (first half). ML mitigation (Algorithm 1) consumes fault-free
+        // redundant state; encode the features here, leaving the LSTM
+        // forward to the caller (scalar inline or batched across lanes).
+        let ml_input = if self.ml.is_some() {
+            let features = StateFeatures {
+                ego_speed: ego_state.v,
+                lead_distance: truth.map_or(f64::INFINITY, |o| o.distance),
+                closing_speed: truth.map_or(0.0, |o| o.closing_speed),
+                left_line: self.world.road().lane_width() / 2.0 - ego_state.d,
+                right_line: self.world.road().lane_width() / 2.0 + ego_state.d,
+                curvature: self.world.road().curvature_at(ego_state.s),
+                heading: ego_state.psi,
+                prev_accel: self.last_executed.accel,
+                prev_steer: self.last_executed.steer,
+            };
+            Some(MlInput {
+                x: features.encode(),
+                op_out: ControlTarget {
                     accel: checked_cmd.accel,
                     steer: checked_cmd.steer,
-                };
-                ml.update(&features, &op_out, time).map(|target| {
-                    adas_control::AdasCommand {
-                        accel: target.accel,
-                        steer: target.steer,
-                        lead_engaged: checked_cmd.lead_engaged,
-                    }
+                },
+            })
+        } else {
+            None
+        };
+
+        PendingCycle {
+            time,
+            truth,
+            frame,
+            fault_active,
+            checked_cmd,
+            aeb_out,
+            driver_action,
+            true_line_dist,
+            ml_input,
+        }
+    }
+
+    /// Commits one control cycle begun by [`Self::begin_step`]: the ML
+    /// mitigation decision (fed the externally computed LSTM output
+    /// `ml_y`, if any), priority arbitration, actuation, and monitors.
+    ///
+    /// `ml_y` must be `Some` exactly when the pending cycle carries an ML
+    /// input, and must be the model output for that input on this run's
+    /// recurrent stream — [`MlMitigator::forward`] on the scalar path, the
+    /// run's lane of [`adas_ml::LstmPredictor::step_batch`] on the batched
+    /// path (bit-identical by construction).
+    pub(crate) fn finish_step(
+        &mut self,
+        pending: PendingCycle,
+        ml_y: Option<[f64; TARGET_DIM]>,
+    ) -> PerceptionFrame {
+        let PendingCycle {
+            time,
+            truth,
+            frame,
+            fault_active,
+            checked_cmd,
+            aeb_out,
+            driver_action,
+            true_line_dist,
+            ml_input,
+        } = pending;
+
+        // 7 (second half). Mitigation decision on the computed output.
+        let ml_cmd = match (self.ml.as_mut(), ml_input, ml_y) {
+            (Some(ml), Some(input), Some(y)) => {
+                ml.update_with_output(&y, &input.op_out, time).map(|target| AdasCommand {
+                    accel: target.accel,
+                    steer: target.steer,
+                    lead_engaged: checked_cmd.lead_engaged,
                 })
             }
-            None => None,
+            (None, None, None) => None,
+            _ => panic!("ml_y must accompany a pending ML input (and only then)"),
         };
 
         // 8. Priority arbitration (AEB > driver > ML > ADAS).
@@ -365,6 +433,35 @@ impl Platform {
             .is_some_and(|m| m.first_activation_time().is_some());
         rec
     }
+}
+
+/// Encoded ML-mitigation input for one cycle: the feature vector the LSTM
+/// consumes and the ADAS output the CUSUM gate compares against.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MlInput {
+    /// Encoded [`StateFeatures`] — one lane's column of the batched input
+    /// panel.
+    pub(crate) x: [f64; FEATURE_DIM],
+    op_out: ControlTarget,
+}
+
+/// One control cycle's stage 1–7 products, pending the LSTM forward and
+/// the commit in [`Platform::finish_step`].
+///
+/// The world has *not* advanced yet when this exists; the batch driver
+/// holds one per lane while a single weights-stationary matvec serves
+/// every lane's LSTM step.
+#[derive(Debug)]
+pub(crate) struct PendingCycle {
+    time: f64,
+    truth: Option<LeadObservation>,
+    frame: PerceptionFrame,
+    pub(crate) fault_active: bool,
+    checked_cmd: AdasCommand,
+    aeb_out: AebsOutput,
+    driver_action: DriverAction,
+    true_line_dist: f64,
+    pub(crate) ml_input: Option<MlInput>,
 }
 
 /// Tri-state "is the run finished" answer.

@@ -15,7 +15,7 @@
 
 use crate::cache::Fingerprint;
 use crate::config::{InterventionConfig, PlatformConfig};
-use crate::experiment::{campaign_run_ids, run_campaign, RunId};
+use crate::experiment::{campaign_run_ids, RunId};
 use crate::platform::{Platform, RunEnd, RunEnd2};
 use adas_attack::{FaultInjector, FaultSpec, FaultType};
 use adas_ml::{LstmPredictor, MitigationConfig, MlMitigator};
@@ -151,28 +151,37 @@ pub fn run_traced(
         .filter(|_| config.interventions.ml)
         .map(|m| MlMitigator::new(Arc::clone(m), MitigationConfig::default()));
     let mut platform = Platform::new(&setup, *config, injector, ml, &mut setup_rng);
-    // Fused capture: the writer is fed directly from the step loop (one
-    // sample construction, one push — no intermediate buffer or second
-    // pass). Full mode adopts the worker's recycled buffer; ring mode is
-    // already bounded and cache-hot, so it keeps its own small deque and
-    // the pooled buffer stays parked in the thread-local.
-    let mut writer = match mode {
-        RecordMode::Full => {
-            let mut w = TraceWriter::from_buffer(SAMPLE_BUF.with(Cell::take));
-            w.reserve(config.max_steps);
-            w
-        }
-        RecordMode::Ring(_) => TraceWriter::new(mode),
-    };
-    platform.attach_writer(writer);
+    platform.attach_writer(make_writer(mode, config.max_steps));
     let end = loop {
         let _ = platform.step();
         if let RunEnd2::Yes(end) = platform.finished() {
             break end;
         }
     };
+    finish_traced(platform, end, header)
+}
+
+/// Builds the capture writer for one traced run. Fused capture: the writer
+/// is fed directly from the step loop (one sample construction, one push —
+/// no intermediate buffer or second pass). Full mode adopts the worker's
+/// recycled buffer; ring mode is already bounded and cache-hot, so it
+/// keeps its own small deque and the pooled buffer stays parked in the
+/// thread-local.
+fn make_writer(mode: RecordMode, max_steps: usize) -> TraceWriter {
+    match mode {
+        RecordMode::Full => {
+            let mut w = TraceWriter::from_buffer(SAMPLE_BUF.with(Cell::take));
+            w.reserve(max_steps);
+            w
+        }
+        RecordMode::Ring(_) => TraceWriter::new(mode),
+    }
+}
+
+/// Detaches the writer from a finished platform and seals the trace.
+fn finish_traced(mut platform: Platform, end: RunEnd, header: TraceHeader) -> (RunRecord, Trace) {
     let record = platform.record();
-    writer = platform.take_writer().expect("writer was attached");
+    let writer = platform.take_writer().expect("writer was attached");
     let outcome = TraceOutcome {
         end: match end {
             RunEnd::TimeLimit => EndReason::TimeLimit,
@@ -465,35 +474,104 @@ pub fn run_campaign_traced(
     repetitions: u32,
     sink: &TraceSink,
 ) -> Vec<(RunId, RunRecord)> {
+    run_campaign_traced_with_width(
+        fault,
+        config,
+        ml_model,
+        model_fingerprint,
+        campaign_seed,
+        repetitions,
+        sink,
+        crate::parallel::batch_width(),
+    )
+}
+
+/// [`run_campaign_traced`] at an explicit lockstep batch width. Recording
+/// observes the loop on both paths — each lane owns its writer — so
+/// per-run records and traces are bit-identical at any width.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_campaign_traced_with_width(
+    fault: Option<FaultType>,
+    config: &PlatformConfig,
+    ml_model: Option<&Arc<LstmPredictor>>,
+    model_fingerprint: u64,
+    campaign_seed: u64,
+    repetitions: u32,
+    sink: &TraceSink,
+    width: usize,
+) -> Vec<(RunId, RunRecord)> {
     if !sink.enabled() {
-        return run_campaign(fault, config, ml_model, campaign_seed, repetitions);
-    }
-    let mode = sink.policy().record_mode;
-    let ids = campaign_run_ids(repetitions);
-    let records = crate::parallel::map(&ids, |_, id| {
-        let (record, trace) = run_single_traced(
-            *id,
+        return crate::experiment::run_campaign_with_width(
             fault,
             config,
             ml_model,
-            model_fingerprint,
             campaign_seed,
-            mode,
+            repetitions,
+            width,
         );
-        sink.offer(&record, &trace);
+    }
+    let mode = sink.policy().record_mode;
+    let ids = campaign_run_ids(repetitions);
+    let offer = |record: &RunRecord, trace: Trace| {
+        sink.offer(record, &trace);
         // The trace is done with its samples either way (persisted bytes
         // are already on disk); recycle the bulk allocation for this
         // worker's next run.
         recycle_sample_buffer(trace.samples);
-        record
-    });
+    };
+    let records = if width <= 1 {
+        crate::parallel::map(&ids, |_, id| {
+            let (record, trace) = run_single_traced(
+                *id,
+                fault,
+                config,
+                ml_model,
+                model_fingerprint,
+                campaign_seed,
+                mode,
+            );
+            offer(&record, trace);
+            record
+        })
+    } else {
+        let model = ml_model.filter(|_| config.interventions.ml);
+        // Full-mode note: the thread-local pool holds one buffer per
+        // worker, so one lane per batch adopts it and the other in-flight
+        // lanes allocate fresh; recycling keeps the largest buffer, so
+        // steady state still avoids regrowing the hottest allocation.
+        crate::batch::run_lockstep_ctl(
+            &ids,
+            width,
+            model,
+            |_, id| {
+                let mut platform = crate::experiment::build_platform(
+                    *id,
+                    fault,
+                    config,
+                    model,
+                    campaign_seed,
+                );
+                platform.attach_writer(make_writer(mode, config.max_steps));
+                platform
+            },
+            |_, id, end, platform| {
+                let header = trace_header(*id, fault, config, model_fingerprint, campaign_seed);
+                let (record, trace) = finish_traced(platform, end, header);
+                offer(&record, trace);
+                record
+            },
+            &crate::parallel::MapControl::new(),
+        )
+        .expect("uncancelled campaign completed")
+    };
     ids.into_iter().zip(records).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::run_single;
+    use crate::experiment::{run_campaign, run_single};
     use adas_recorder::{TraceMode, Verdict};
     use adas_scenarios::{InitialPosition, ScenarioId};
 
@@ -605,6 +683,60 @@ mod tests {
         // Round-trip the persisted file.
         let loaded = Trace::load(&crash_path.expect("persisted")).expect("loadable");
         assert_eq!(format!("{loaded:?}"), format!("{crash_trace:?}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_traced_campaign_matches_scalar_traced() {
+        let cfg = PlatformConfig {
+            max_steps: 300,
+            ..PlatformConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!("adas-trace-batched-{}", std::process::id()));
+        let policy = |d: &std::path::Path| TracePolicy {
+            mode: TraceMode::All,
+            dir: d.to_path_buf(),
+            record_mode: RecordMode::Full,
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        let scalar_sink = TraceSink::new(policy(&dir.join("scalar")));
+        let scalar = run_campaign_traced_with_width(
+            Some(FaultType::RelativeDistance),
+            &cfg,
+            None,
+            0,
+            9,
+            1,
+            &scalar_sink,
+            1,
+        );
+        let batched_sink = TraceSink::new(policy(&dir.join("batched")));
+        let batched = run_campaign_traced_with_width(
+            Some(FaultType::RelativeDistance),
+            &cfg,
+            None,
+            0,
+            9,
+            1,
+            &batched_sink,
+            5,
+        );
+        assert_eq!(format!("{scalar:?}"), format!("{batched:?}"));
+        assert_eq!(scalar_sink.recorded(), batched_sink.recorded());
+        assert_eq!(scalar_sink.persisted(), batched_sink.persisted());
+        // Persisted traces are content-addressed, so bit-identical captures
+        // produce identical file sets.
+        let names = |d: &std::path::Path| {
+            let mut v: Vec<String> = std::fs::read_dir(d)
+                .map(|rd| {
+                    rd.filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().into_owned()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            v.sort();
+            v
+        };
+        assert_eq!(names(&dir.join("scalar")), names(&dir.join("batched")));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -202,6 +202,22 @@ pub fn run_case(case: &FuzzCase, seed: u64) -> (RunRecord, Trace) {
 /// parameters is bit-identical to the corresponding campaign run.
 #[must_use]
 pub fn run_case_with(case: &FuzzCase, seed: u64, config: &PlatformConfig) -> (RunRecord, Trace) {
+    let mut platform = case_platform(case, seed, config);
+    let end = loop {
+        let _ = platform.step();
+        if let RunEnd2::Yes(end) = platform.finished() {
+            break end;
+        }
+    };
+    finish_case(case, seed, config, end, platform)
+}
+
+/// Builds the fully-wired platform for one fuzz case (full-mode trace
+/// writer attached) without stepping it — the seam the lockstep batch
+/// executor drives. Construction is shared with [`run_case_with`], so a
+/// batched case is bit-identical to a scalar one.
+#[must_use]
+pub(crate) fn case_platform(case: &FuzzCase, seed: u64, config: &PlatformConfig) -> Platform {
     let id = RunId {
         scenario: case.scenario,
         position: case.position,
@@ -245,17 +261,29 @@ pub fn run_case_with(case: &FuzzCase, seed: u64, config: &PlatformConfig) -> (Ru
         None => FaultInjector::disabled(),
     };
 
-    let header = trace_header(id, case.fault, config, 0, seed);
     let mut platform = Platform::new(&setup, *config, injector, None, &mut rng);
     let mut writer = TraceWriter::new(RecordMode::Full);
     writer.reserve(config.max_steps);
     platform.attach_writer(writer);
-    let end = loop {
-        let _ = platform.step();
-        if let RunEnd2::Yes(end) = platform.finished() {
-            break end;
-        }
+    platform
+}
+
+/// Seals a finished case platform: extracts the run record and wraps the
+/// captured samples into a [`Trace`]. Counterpart of [`case_platform`].
+#[must_use]
+pub(crate) fn finish_case(
+    case: &FuzzCase,
+    seed: u64,
+    config: &PlatformConfig,
+    end: RunEnd,
+    mut platform: Platform,
+) -> (RunRecord, Trace) {
+    let id = RunId {
+        scenario: case.scenario,
+        position: case.position,
+        repetition: case.repetition,
     };
+    let header = trace_header(id, case.fault, config, 0, seed);
     let record = platform.record();
     let writer = platform.take_writer().expect("writer was attached");
     let outcome = TraceOutcome {

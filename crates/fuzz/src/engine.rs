@@ -2,14 +2,18 @@
 //! → collect coverage and findings → shrink.
 //!
 //! Determinism is load-bearing (it is what makes findings replayable):
-//! candidate batches are generated serially from one RNG, evaluated with
-//! [`adas_parallel::map`] (results come back in submission order at any
-//! worker count), and folded into the corpus serially. The only
+//! candidate batches are generated serially from one RNG, evaluated in
+//! submission order at any worker count — scalar via
+//! [`adas_parallel::map`], or with primaries stepped in SoA lockstep when
+//! `ADAS_BATCH` > 1 (bit-identical either way) — and folded into the
+//! corpus serially. The only
 //! non-deterministic knob is the optional wall-clock budget, which is
 //! checked at batch boundaries — use the run budget when reproducibility
 //! matters and the time budget only as a CI backstop.
 
-use crate::case::{run_case, run_case_with, FuzzCase, ATTACK_START_RANGE, IV_ROWS};
+use crate::case::{
+    case_platform, finish_case, run_case, run_case_with, FuzzCase, ATTACK_START_RANGE, IV_ROWS,
+};
 use crate::coverage::Signature;
 use crate::oracle::{
     check_metamorphic, check_regression, check_trace, severity, OracleKind, Violation,
@@ -17,6 +21,7 @@ use crate::oracle::{
 use crate::shrink::shrink;
 use adas_attack::FaultType;
 use adas_core::PlatformConfig;
+use adas_recorder::Trace;
 use adas_safety::AebsMode;
 use adas_scenarios::{InitialPosition, RunRecord, ScenarioId};
 use adas_simulator::DeterministicRng;
@@ -98,9 +103,21 @@ fn ablations(config: &PlatformConfig) -> Vec<(&'static str, PlatformConfig)> {
 /// oracle reruns benign curvature-attack cases with the patch shifted.
 #[must_use]
 pub fn evaluate(case: &FuzzCase, seed: u64) -> Evaluation {
-    let config = case.config();
     let (record, trace) = run_case(case, seed);
-    let mut violations = check_trace(&config, &record, &trace);
+    evaluate_with_primary(case, seed, record, &trace)
+}
+
+/// Oracle phase of [`evaluate`], given an already-executed primary run.
+/// Shared by the scalar path and the lockstep-batched path, which differ
+/// only in how the primary was produced (the outputs are bit-identical).
+fn evaluate_with_primary(
+    case: &FuzzCase,
+    seed: u64,
+    record: RunRecord,
+    trace: &Trace,
+) -> Evaluation {
+    let config = case.config();
+    let mut violations = check_trace(&config, &record, trace);
     let mut runs_used = 1;
 
     if severity(&record) > 0 {
@@ -122,7 +139,7 @@ pub fn evaluate(case: &FuzzCase, seed: u64) -> Evaluation {
         shifted.attack_start_offset += METAMORPHIC_SHIFT_M;
         let (_, shifted_trace) = run_case(&shifted, seed);
         runs_used += 1;
-        if let Some(v) = check_metamorphic(&trace, &shifted_trace, METAMORPHIC_SHIFT_M) {
+        if let Some(v) = check_metamorphic(trace, &shifted_trace, METAMORPHIC_SHIFT_M) {
             violations.push(v);
         }
     }
@@ -134,6 +151,38 @@ pub fn evaluate(case: &FuzzCase, seed: u64) -> Evaluation {
         violations,
         runs_used,
     }
+}
+
+/// Evaluates one candidate batch, honouring `ADAS_BATCH`: at width ≤ 1
+/// every candidate runs scalar end-to-end; otherwise the primary traced
+/// runs step in SoA lockstep (fuzz rows exclude the ML intervention, so
+/// no model panel is needed) and the oracle phase — trace checks plus the
+/// conditional scalar reruns — fans out over the finished primaries. Both
+/// phases preserve submission order, so a session folds to the same
+/// corpus and findings at any width.
+fn evaluate_batch(batch: &[FuzzCase], seed: u64) -> Vec<Evaluation> {
+    evaluate_batch_with_width(batch, seed, adas_core::parallel::batch_width())
+}
+
+fn evaluate_batch_with_width(batch: &[FuzzCase], seed: u64, width: usize) -> Vec<Evaluation> {
+    if width <= 1 {
+        return adas_core::parallel::map(batch, |_, c| evaluate(c, seed));
+    }
+    let primaries = adas_core::run_lockstep(
+        batch,
+        width,
+        None,
+        |_, c| case_platform(c, seed, &c.config()),
+        |_, c, end, platform| finish_case(c, seed, &c.config(), end, platform),
+    );
+    let paired: Vec<(FuzzCase, RunRecord, Trace)> = batch
+        .iter()
+        .zip(primaries)
+        .map(|(c, (record, trace))| (*c, record, trace))
+        .collect();
+    adas_core::parallel::map(&paired, |_, (c, record, trace)| {
+        evaluate_with_primary(c, seed, record.clone(), trace)
+    })
 }
 
 /// One confirmed, shrunk finding.
@@ -307,7 +356,7 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
                 }
             })
             .collect();
-        let evals = adas_core::parallel::map(&batch, |_, c| evaluate(c, config.seed));
+        let evals = evaluate_batch(&batch, config.seed);
         batches += 1;
         for eval in evals {
             runs += eval.runs_used;
@@ -399,6 +448,31 @@ mod tests {
         assert_eq!(format!("{:?}", a.findings), format!("{:?}", b.findings));
         assert_eq!(a.runs, b.runs);
         assert!(!a.corpus.is_empty());
+    }
+
+    #[test]
+    fn batched_evaluation_matches_scalar() {
+        // Mixed batch: benign, curvature (metamorphic-eligible), mixed
+        // fault across intervention rows — exercises every oracle branch.
+        let batch: Vec<FuzzCase> = [
+            (ScenarioId::S1, 0, None),
+            (ScenarioId::S2, 1, Some(FaultType::DesiredCurvature)),
+            (ScenarioId::S4, 3, Some(FaultType::Mixed)),
+            (ScenarioId::S5, 2, Some(FaultType::RelativeDistance)),
+            (ScenarioId::S6, 4, Some(FaultType::DesiredCurvature)),
+        ]
+        .into_iter()
+        .map(|(s, row, fault)| FuzzCase::baseline(s, InitialPosition::Near, row, fault))
+        .collect();
+        let scalar = evaluate_batch_with_width(&batch, 11, 1);
+        for width in [3, 32] {
+            let batched = evaluate_batch_with_width(&batch, 11, width);
+            assert_eq!(
+                format!("{scalar:?}"),
+                format!("{batched:?}"),
+                "width {width} diverged from scalar"
+            );
+        }
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub mod train;
 pub use cusum::Cusum;
 pub use features::{ControlTarget, StateFeatures, FEATURE_DIM, TARGET_DIM, WINDOW};
 pub use mitigation::{MitigationConfig, MlMitigator};
-pub use model::{LstmPredictor, ModelSpec};
+pub use model::{BatchInferScratch, BatchPredictorState, LstmPredictor, ModelSpec};
 pub use train::{train, Dataset, Sample, TrainConfig, TrainReport};

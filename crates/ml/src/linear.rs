@@ -95,6 +95,83 @@ impl Linear {
         }
     }
 
+    /// Batched `Y = W X + b` over lane-contiguous panels.
+    ///
+    /// `x` is a `cols × width` panel (`x[c * width + lane]`), `y` a
+    /// `rows × width` panel. The weights are stationary and the lane
+    /// dimension is processed in register-resident blocks of
+    /// [`LANE_BLOCK`]: each weight is loaded once per block and broadcast
+    /// across the block's accumulators, which live in registers for the
+    /// whole column sweep instead of round-tripping through the output
+    /// panel on every weight.
+    ///
+    /// Bit-identical per lane to [`Self::forward_into`]: lane `l` sees the
+    /// same multiplies in the same column order, with the bias added last
+    /// (`b[r] + acc`, the exact scalar expression). Blocking only changes
+    /// *which lanes* are computed together, never the per-lane operation
+    /// sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on panel dimension mismatch or `width == 0`.
+    pub fn forward_batch(&self, width: usize, x: &[f64], y: &mut [f64]) {
+        assert!(width > 0, "batch width must be ≥ 1");
+        assert_eq!(x.len(), self.cols * width, "input panel dimension mismatch");
+        assert_eq!(y.len(), self.rows * width, "output panel dimension mismatch");
+        self.forward_concat_panels(width, x, &[], y);
+    }
+
+    /// Batched [`Self::forward_concat_into`]: `Y = W [Xa; Xb] + b` over
+    /// lane-contiguous panels without materialising the concatenation.
+    ///
+    /// `xa` is an `na × width` panel, `xb` a `(cols − na) × width` panel.
+    /// Bit-identical per lane to the scalar concat forward: each row's
+    /// accumulator consumes `xa`'s columns then `xb`'s in order, bias last.
+    /// Lane blocking as in [`Self::forward_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on panel dimension mismatch or `width == 0`.
+    pub fn forward_concat_batch(&self, width: usize, xa: &[f64], xb: &[f64], y: &mut [f64]) {
+        assert!(width > 0, "batch width must be ≥ 1");
+        assert_eq!(
+            xa.len() + xb.len(),
+            self.cols * width,
+            "input panel dimension mismatch"
+        );
+        assert!(xa.len().is_multiple_of(width), "xa panel not a multiple of width");
+        assert_eq!(y.len(), self.rows * width, "output panel dimension mismatch");
+        self.forward_concat_panels(width, xa, xb, y);
+    }
+
+    /// Shared lane-blocked kernel behind the batched forwards (dimensions
+    /// already validated by the callers; `xb` may be empty).
+    fn forward_concat_panels(&self, width: usize, xa: &[f64], xb: &[f64], y: &mut [f64]) {
+        let na = xa.len() / width;
+        for r in 0..self.rows {
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            let out = &mut y[r * width..(r + 1) * width];
+            let b_r = self.b[r];
+            let mut start = 0;
+            while start < width {
+                // Const-sized blocks all the way down so even ragged
+                // tails (and widths below LANE_BLOCK) keep their
+                // accumulators in registers.
+                let left = width - start;
+                let taken = if left >= 8 {
+                    block::<8>(row, na, xa, xb, width, start, b_r, out)
+                } else if left >= 4 {
+                    block::<4>(row, na, xa, xb, width, start, b_r, out)
+                } else if left >= 2 {
+                    block::<2>(row, na, xa, xb, width, start, b_r, out)
+                } else {
+                    block::<1>(row, na, xa, xb, width, start, b_r, out)
+                };
+                start += taken;
+            }
+        }
+    }
+
     /// Accumulates gradients for one sample and returns `dL/dx`.
     ///
     /// `x` must be the input used in the corresponding forward pass and
@@ -190,6 +267,51 @@ impl Linear {
     #[must_use]
     pub fn param_count(&self) -> usize {
         self.w.len() + self.b.len()
+    }
+}
+
+/// Computes one register-blocked group of `N` lanes for row `row` of the
+/// batched matvec: `out[start + j] = b_r + Σ_c row[c] · x[c·width+start+j]`
+/// with the `xa` columns consumed before the `xb` columns. `N` is a
+/// compile-time constant so the accumulators stay in registers across the
+/// whole column sweep (eight doubles fit in two 256-bit vectors). Returns
+/// `N` so the caller can advance its lane cursor.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn block<const N: usize>(
+    row: &[f64],
+    na: usize,
+    xa: &[f64],
+    xb: &[f64],
+    width: usize,
+    start: usize,
+    b_r: f64,
+    out: &mut [f64],
+) -> usize {
+    let mut acc = [0.0f64; N];
+    accumulate_lanes::<N>(&row[..na], xa, width, start, &mut acc);
+    accumulate_lanes::<N>(&row[na..], xb, width, start, &mut acc);
+    for (o, a) in out[start..start + N].iter_mut().zip(acc) {
+        *o = b_r + a;
+    }
+    N
+}
+
+/// Accumulates `acc[j] += w[c] * x[c * width + start + j]` over all
+/// columns for a block of `N` lanes.
+#[inline]
+fn accumulate_lanes<const N: usize>(
+    row: &[f64],
+    x: &[f64],
+    width: usize,
+    start: usize,
+    acc: &mut [f64; N],
+) {
+    for (c, w_rc) in row.iter().enumerate() {
+        let xs = &x[c * width + start..c * width + start + N];
+        for j in 0..N {
+            acc[j] += w_rc * xs[j];
+        }
     }
 }
 
@@ -323,5 +445,57 @@ mod tests {
     fn param_count() {
         let l = Linear::new(4, 5, &mut rng());
         assert_eq!(l.param_count(), 24);
+    }
+
+    /// Deterministic pseudo-random lane inputs without an RNG dependency.
+    fn lane_input(cols: usize, width: usize, salt: f64) -> Vec<f64> {
+        (0..cols * width)
+            .map(|i| ((i as f64) * 0.7310 + salt).sin())
+            .collect()
+    }
+
+    #[test]
+    fn forward_batch_bitwise_matches_scalar() {
+        let l = Linear::new(5, 7, &mut rng());
+        for width in [1usize, 3, 8, 32] {
+            let panel = lane_input(7, width, 0.25);
+            let mut y = vec![0.0; 5 * width];
+            l.forward_batch(width, &panel, &mut y);
+            for lane in 0..width {
+                let x: Vec<f64> = (0..7).map(|c| panel[c * width + lane]).collect();
+                let expect = l.forward(&x);
+                for r in 0..5 {
+                    assert_eq!(
+                        y[r * width + lane].to_bits(),
+                        expect[r].to_bits(),
+                        "width {width} lane {lane} row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_concat_batch_bitwise_matches_scalar() {
+        let l = Linear::new(6, 9, &mut rng());
+        for width in [1usize, 4, 32] {
+            let pa = lane_input(4, width, 0.1);
+            let pb = lane_input(5, width, 1.9);
+            let mut y = vec![0.0; 6 * width];
+            l.forward_concat_batch(width, &pa, &pb, &mut y);
+            for lane in 0..width {
+                let xa: Vec<f64> = (0..4).map(|c| pa[c * width + lane]).collect();
+                let xb: Vec<f64> = (0..5).map(|c| pb[c * width + lane]).collect();
+                let mut expect = vec![0.0; 6];
+                l.forward_concat_into(&xa, &xb, &mut expect);
+                for r in 0..6 {
+                    assert_eq!(
+                        y[r * width + lane].to_bits(),
+                        expect[r].to_bits(),
+                        "width {width} lane {lane} row {r}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -31,6 +31,29 @@ fn copy_into(dst: &mut Vec<f64>, src: &[f64]) {
     dst.extend_from_slice(src);
 }
 
+/// The scalar per-(unit, lane) gate expression shared by the masked and
+/// unmasked batched loops — identical f64 sequence to [`Lstm::step_infer`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gate_lane(
+    h: usize,
+    width: usize,
+    k: usize,
+    lane: usize,
+    z: &[f64],
+    c_prev: &[f64],
+    h_out: &mut [f64],
+    c_out: &mut [f64],
+) {
+    let i = sigmoid(z[k * width + lane]);
+    let f = sigmoid(z[(h + k) * width + lane]);
+    let g = z[(2 * h + k) * width + lane].tanh();
+    let o = sigmoid(z[(3 * h + k) * width + lane]);
+    let c = f * c_prev[k * width + lane] + i * g;
+    c_out[k * width + lane] = c;
+    h_out[k * width + lane] = o * c.tanh();
+}
+
 /// One LSTM layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Lstm {
@@ -151,6 +174,69 @@ impl Lstm {
             let o = sigmoid(z[3 * h + k]);
             c_out[k] = f * c_prev[k] + i * g;
             h_out[k] = o * c_out[k].tanh();
+        }
+    }
+
+    /// Batched allocation-free inference timestep over lane-contiguous
+    /// panels (`panel[unit * width + lane]`).
+    ///
+    /// One weights-stationary gate matvec serves the whole batch; the
+    /// element-wise gate math then runs per lane in the scalar order.
+    /// Bit-identical per lane to [`Self::step_infer`] — each lane sees the
+    /// exact same f64 operation sequence, so batching (and the batch
+    /// composition) never changes a run's numerics.
+    ///
+    /// `mask`, when present, marks which lanes are live: the gate
+    /// transcendentals (the dominant per-lane cost) are skipped for masked
+    /// -out lanes and their `h_out` / `c_out` entries are left untouched.
+    /// A masked-out lane's state is therefore stale and must be reset
+    /// (zeroed) before the lane is reactivated — exactly what the lockstep
+    /// executor's refill does. The matvec still covers all lanes; masked
+    /// columns hold finite garbage that no one reads, and lanes never mix.
+    ///
+    /// `h_out` / `c_out` must not alias `h_prev` / `c_prev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any panel dimension mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_batch(
+        &self,
+        width: usize,
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+        z: &mut [f64],
+        h_out: &mut [f64],
+        c_out: &mut [f64],
+        mask: Option<&[bool]>,
+    ) {
+        let h = self.hidden;
+        assert_eq!(x.len(), self.input * width);
+        assert_eq!(h_prev.len(), h * width);
+        assert_eq!(c_prev.len(), h * width);
+        assert_eq!(z.len(), 4 * h * width);
+        assert_eq!(h_out.len(), h * width);
+        assert_eq!(c_out.len(), h * width);
+        self.gates.forward_concat_batch(width, x, h_prev, z);
+        match mask {
+            None => {
+                for k in 0..h {
+                    for lane in 0..width {
+                        gate_lane(h, width, k, lane, z, c_prev, h_out, c_out);
+                    }
+                }
+            }
+            Some(live) => {
+                assert_eq!(live.len(), width, "mask length mismatch");
+                for k in 0..h {
+                    for (lane, &is_live) in live.iter().enumerate() {
+                        if is_live {
+                            gate_lane(h, width, k, lane, z, c_prev, h_out, c_out);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -383,6 +469,60 @@ mod tests {
             let lm: f64 = l.step(&xm, &h0, &c0).0.iter().sum();
             let num = (lp - lm) / (2.0 * eps);
             assert!((num - dx[k]).abs() < 1e-6, "dx[{k}]: {num} vs {}", dx[k]);
+        }
+    }
+
+    #[test]
+    fn step_batch_bitwise_matches_step_infer() {
+        let l = Lstm::new(3, 5, &mut rng());
+        for width in [1usize, 4, 32] {
+            // Independent scalar streams, one per lane.
+            let mut hs: Vec<Vec<f64>> = vec![vec![0.0; 5]; width];
+            let mut cs: Vec<Vec<f64>> = vec![vec![0.0; 5]; width];
+            // Batched panels.
+            let mut hp = vec![0.0; 5 * width];
+            let mut cp = vec![0.0; 5 * width];
+            let mut z = vec![0.0; 4 * 5 * width];
+            let mut hn = vec![0.0; 5 * width];
+            let mut cn = vec![0.0; 5 * width];
+            let mut zs = vec![0.0; 4 * 5];
+            for t in 0..30 {
+                let xs: Vec<Vec<f64>> = (0..width)
+                    .map(|lane| {
+                        (0..3)
+                            .map(|c| ((t * 3 + c) as f64 * 0.31 + lane as f64 * 1.7).sin())
+                            .collect()
+                    })
+                    .collect();
+                let mut xp = vec![0.0; 3 * width];
+                for (lane, x) in xs.iter().enumerate() {
+                    for (c, v) in x.iter().enumerate() {
+                        xp[c * width + lane] = *v;
+                    }
+                }
+                l.step_batch(width, &xp, &hp, &cp, &mut z, &mut hn, &mut cn, None);
+                std::mem::swap(&mut hp, &mut hn);
+                std::mem::swap(&mut cp, &mut cn);
+                for lane in 0..width {
+                    let mut h_out = vec![0.0; 5];
+                    let mut c_out = vec![0.0; 5];
+                    l.step_infer(&xs[lane], &hs[lane], &cs[lane], &mut zs, &mut h_out, &mut c_out);
+                    hs[lane] = h_out;
+                    cs[lane] = c_out;
+                    for k in 0..5 {
+                        assert_eq!(
+                            hp[k * width + lane].to_bits(),
+                            hs[lane][k].to_bits(),
+                            "h diverged: width {width} lane {lane} t {t} k {k}"
+                        );
+                        assert_eq!(
+                            cp[k * width + lane].to_bits(),
+                            cs[lane][k].to_bits(),
+                            "c diverged: width {width} lane {lane} t {t} k {k}"
+                        );
+                    }
+                }
+            }
         }
     }
 

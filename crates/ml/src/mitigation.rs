@@ -7,7 +7,7 @@
 //! below the bias.
 
 use crate::cusum::Cusum;
-use crate::features::{ControlTarget, StateFeatures, WINDOW};
+use crate::features::{ControlTarget, StateFeatures, FEATURE_DIM, TARGET_DIM, WINDOW};
 use crate::model::{InferScratch, LstmPredictor, PredictorState};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -103,8 +103,32 @@ impl MlMitigator {
         time: f64,
     ) -> Option<ControlTarget> {
         let x = state.encode();
-        let y = self.model.step_with(&x, &mut self.state, &mut self.scratch);
-        let prediction = ControlTarget::decode(&y);
+        let y = self.forward(&x);
+        self.update_with_output(&y, adas_output, time)
+    }
+
+    /// Advances this mitigator's own recurrent state by one cycle and
+    /// returns the raw (normalised) model output.
+    ///
+    /// The scalar half of [`Self::update`]. The batched campaign path skips
+    /// this — it computes the same output for a whole batch of runs with
+    /// [`LstmPredictor::step_batch`] and feeds each lane's result to
+    /// [`Self::update_with_output`].
+    pub fn forward(&mut self, x: &[f64; FEATURE_DIM]) -> [f64; TARGET_DIM] {
+        self.model.step_with(x, &mut self.state, &mut self.scratch)
+    }
+
+    /// The decision half of Algorithm 1, given an already-computed model
+    /// output `y` for this cycle (from [`Self::forward`] or a lane of
+    /// [`LstmPredictor::step_batch`]). Bit-identical to the corresponding
+    /// tail of [`Self::update`].
+    pub fn update_with_output(
+        &mut self,
+        y: &[f64; TARGET_DIM],
+        adas_output: &ControlTarget,
+        time: f64,
+    ) -> Option<ControlTarget> {
+        let prediction = ControlTarget::decode(y);
 
         // Warm-up: the paper's model consumes 20 continuous frames before
         // its first prediction is meaningful.

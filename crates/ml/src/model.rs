@@ -71,6 +71,72 @@ pub struct InferScratch {
     y: Vec<f64>,
 }
 
+/// Recurrent state for a whole batch of runs, held as lane-contiguous
+/// `[units × width]` panels (`panel[k * width + lane]`).
+///
+/// Lane `lane` of a panel is one run's recurrent state; the batched
+/// forward ([`LstmPredictor::step_batch`]) advances every lane with one
+/// weights-stationary matvec per layer. Lanes are fully independent — no
+/// value ever crosses lanes — which is what makes the batched path
+/// bit-identical to the scalar one per run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPredictorState {
+    width: usize,
+    h1: Vec<f64>,
+    c1: Vec<f64>,
+    h2: Vec<f64>,
+    c2: Vec<f64>,
+}
+
+impl BatchPredictorState {
+    /// Batch width (number of lanes).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Zeroes one lane's recurrent state — equivalent to giving that lane
+    /// a fresh [`LstmPredictor::init_state`]. Called when a retired lane
+    /// is refilled with a new run.
+    pub fn reset_lane(&mut self, lane: usize) {
+        assert!(lane < self.width, "lane out of range");
+        let w = self.width;
+        for panel in [&mut self.h1, &mut self.c1, &mut self.h2, &mut self.c2] {
+            let units = panel.len() / w;
+            for k in 0..units {
+                panel[k * w + lane] = 0.0;
+            }
+        }
+    }
+}
+
+/// Preallocated scratch panels for [`LstmPredictor::step_batch`]: gate
+/// pre-activations, double-buffered next hidden/cell states, and the head
+/// output panel. Zero heap allocations per batched cycle after
+/// construction — the batched analogue of [`InferScratch`].
+#[derive(Debug, Clone)]
+pub struct BatchInferScratch {
+    width: usize,
+    z1: Vec<f64>,
+    z2: Vec<f64>,
+    h1: Vec<f64>,
+    c1: Vec<f64>,
+    h2: Vec<f64>,
+    c2: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl BatchInferScratch {
+    /// The head output for one lane after a [`LstmPredictor::step_batch`]
+    /// call — exactly what [`LstmPredictor::step_with`] would have
+    /// returned for that lane's scalar stream.
+    #[must_use]
+    pub fn output(&self, lane: usize) -> [f64; TARGET_DIM] {
+        assert!(lane < self.width, "lane out of range");
+        [self.y[lane], self.y[self.width + lane]]
+    }
+}
+
 /// The two-layer LSTM + linear head.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LstmPredictor {
@@ -166,6 +232,118 @@ impl LstmPredictor {
         std::mem::swap(&mut state.c2, &mut scratch.c2);
         self.head.forward_into(&state.h2, &mut scratch.y);
         [scratch.y[0], scratch.y[1]]
+    }
+
+    /// A fresh zeroed batch state with `width` lanes.
+    #[must_use]
+    pub fn batch_state(&self, width: usize) -> BatchPredictorState {
+        assert!(width > 0, "batch width must be ≥ 1");
+        BatchPredictorState {
+            width,
+            h1: vec![0.0; self.spec.hidden1 * width],
+            c1: vec![0.0; self.spec.hidden1 * width],
+            h2: vec![0.0; self.spec.hidden2 * width],
+            c2: vec![0.0; self.spec.hidden2 * width],
+        }
+    }
+
+    /// Preallocated batch scratch panels sized for this architecture and
+    /// `width` lanes.
+    #[must_use]
+    pub fn batch_scratch(&self, width: usize) -> BatchInferScratch {
+        assert!(width > 0, "batch width must be ≥ 1");
+        BatchInferScratch {
+            width,
+            z1: vec![0.0; 4 * self.spec.hidden1 * width],
+            z2: vec![0.0; 4 * self.spec.hidden2 * width],
+            h1: vec![0.0; self.spec.hidden1 * width],
+            c1: vec![0.0; self.spec.hidden1 * width],
+            h2: vec![0.0; self.spec.hidden2 * width],
+            c2: vec![0.0; self.spec.hidden2 * width],
+            y: vec![0.0; TARGET_DIM * width],
+        }
+    }
+
+    /// Advances every lane of the batch by one control cycle with one
+    /// weights-stationary matvec per layer.
+    ///
+    /// `x` is a `FEATURE_DIM × width` lane-contiguous input panel
+    /// (`x[c * width + lane]`). Per-lane outputs land in the scratch's
+    /// head panel — read them with [`BatchInferScratch::output`].
+    ///
+    /// Bit-identical per lane to [`Self::step_with`]: the matvec consumes
+    /// columns in the same order with the bias added last, the gate math
+    /// is the scalar expression per lane, and lanes never mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel widths disagree or `x` has the wrong size.
+    pub fn step_batch(
+        &self,
+        x: &[f64],
+        state: &mut BatchPredictorState,
+        scratch: &mut BatchInferScratch,
+    ) {
+        self.step_batch_inner(x, state, scratch, None);
+    }
+
+    /// [`Self::step_batch`] with a per-lane liveness mask: lanes with
+    /// `active[lane] == false` skip the gate transcendentals (the dominant
+    /// per-lane cost) and keep stale state. Live lanes are bit-identical
+    /// to [`Self::step_with`] regardless of the mask — a masked-out lane
+    /// must be [`BatchPredictorState::reset_lane`]-reset before it is
+    /// reactivated, which is exactly what the lockstep executor's refill
+    /// does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel widths disagree, `x` has the wrong size, or
+    /// `active.len() != width`.
+    pub fn step_batch_masked(
+        &self,
+        x: &[f64],
+        state: &mut BatchPredictorState,
+        scratch: &mut BatchInferScratch,
+        active: &[bool],
+    ) {
+        self.step_batch_inner(x, state, scratch, Some(active));
+    }
+
+    fn step_batch_inner(
+        &self,
+        x: &[f64],
+        state: &mut BatchPredictorState,
+        scratch: &mut BatchInferScratch,
+        mask: Option<&[bool]>,
+    ) {
+        let width = state.width;
+        assert_eq!(scratch.width, width, "state/scratch width mismatch");
+        assert_eq!(x.len(), FEATURE_DIM * width, "input panel dimension mismatch");
+        self.l1.step_batch(
+            width,
+            x,
+            &state.h1,
+            &state.c1,
+            &mut scratch.z1,
+            &mut scratch.h1,
+            &mut scratch.c1,
+            mask,
+        );
+        self.l2.step_batch(
+            width,
+            &scratch.h1,
+            &state.h2,
+            &state.c2,
+            &mut scratch.z2,
+            &mut scratch.h2,
+            &mut scratch.c2,
+            mask,
+        );
+        std::mem::swap(&mut state.h1, &mut scratch.h1);
+        std::mem::swap(&mut state.c1, &mut scratch.c1);
+        std::mem::swap(&mut state.h2, &mut scratch.h2);
+        std::mem::swap(&mut state.c2, &mut scratch.c2);
+        self.head.forward_batch(width, &state.h2, &mut scratch.y);
     }
 
     /// Runs a whole window from a zero state (training/eval convenience —
@@ -384,6 +562,156 @@ mod tests {
             assert_eq!(ya, yb, "diverged at step {t}");
         }
         assert_eq!(st_a, st_b);
+    }
+
+    #[test]
+    fn step_batch_bitwise_matches_step_with_across_widths() {
+        let m = LstmPredictor::new(ModelSpec {
+            hidden1: 16,
+            hidden2: 8,
+            seed: 11,
+        });
+        for width in [1usize, 4, 32] {
+            let mut panel_state = m.batch_state(width);
+            let mut panel_scratch = m.batch_scratch(width);
+            let mut scalar: Vec<(PredictorState, InferScratch)> = (0..width)
+                .map(|_| (m.init_state(), m.infer_scratch()))
+                .collect();
+            for t in 0..40 {
+                let mut x_panel = vec![0.0; FEATURE_DIM * width];
+                let mut xs = Vec::with_capacity(width);
+                for lane in 0..width {
+                    let mut x = [0.0; FEATURE_DIM];
+                    for (c, v) in x.iter_mut().enumerate() {
+                        *v = ((t * FEATURE_DIM + c) as f64 * 0.17 + lane as f64 * 0.9).sin();
+                    }
+                    for (c, v) in x.iter().enumerate() {
+                        x_panel[c * width + lane] = *v;
+                    }
+                    xs.push(x);
+                }
+                m.step_batch(&x_panel, &mut panel_state, &mut panel_scratch);
+                for (lane, (st, sc)) in scalar.iter_mut().enumerate() {
+                    let y = m.step_with(&xs[lane], st, sc);
+                    let yb = panel_scratch.output(lane);
+                    assert_eq!(y[0].to_bits(), yb[0].to_bits(), "w{width} lane{lane} t{t}");
+                    assert_eq!(y[1].to_bits(), yb[1].to_bits(), "w{width} lane{lane} t{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_lanes_do_not_perturb_live_lanes() {
+        // Live lanes must be bit-identical to their scalar streams no
+        // matter which other lanes are masked out, and a masked-out lane
+        // must resume a correct fresh stream after reset_lane — the exact
+        // life cycle of a drained-then-refilled lockstep slot.
+        let m = LstmPredictor::new(ModelSpec {
+            hidden1: 12,
+            hidden2: 6,
+            seed: 21,
+        });
+        let width = 4;
+        let mut state = m.batch_state(width);
+        let mut scratch = m.batch_scratch(width);
+        let mut scalar: Vec<(PredictorState, InferScratch)> =
+            (0..width).map(|_| (m.init_state(), m.infer_scratch())).collect();
+        let x_of = |t: usize, lane: usize| {
+            let mut x = [0.0; FEATURE_DIM];
+            for (c, v) in x.iter_mut().enumerate() {
+                *v = ((t * FEATURE_DIM + c) as f64 * 0.19 + lane as f64 * 1.3).sin();
+            }
+            x
+        };
+        let mut panel = vec![0.0; FEATURE_DIM * width];
+        // Phase 1: lanes 0–2 live, lane 3 masked out the whole time.
+        let live = [true, true, true, false];
+        for t in 0..15 {
+            for lane in 0..width {
+                for (c, v) in x_of(t, lane).iter().enumerate() {
+                    panel[c * width + lane] = *v;
+                }
+            }
+            m.step_batch_masked(&panel, &mut state, &mut scratch, &live);
+            for (lane, (st, sc)) in scalar.iter_mut().enumerate().take(3) {
+                let y = m.step_with(&x_of(t, lane), st, sc);
+                assert_eq!(y, scratch.output(lane), "live lane {lane} t {t}");
+            }
+        }
+        // Phase 2: lane 1 retires (masked), lane 3 refills (reset + live).
+        state.reset_lane(3);
+        let live = [true, false, true, true];
+        let mut fresh = (m.init_state(), m.infer_scratch());
+        for t in 15..30 {
+            for lane in 0..width {
+                for (c, v) in x_of(t, lane).iter().enumerate() {
+                    panel[c * width + lane] = *v;
+                }
+            }
+            m.step_batch_masked(&panel, &mut state, &mut scratch, &live);
+            for lane in [0usize, 2] {
+                let (st, sc) = &mut scalar[lane];
+                let y = m.step_with(&x_of(t, lane), st, sc);
+                assert_eq!(y, scratch.output(lane), "veteran lane {lane} t {t}");
+            }
+            let y = m.step_with(&x_of(t, 3), &mut fresh.0, &mut fresh.1);
+            assert_eq!(y, scratch.output(3), "refilled lane t {t}");
+        }
+    }
+
+    #[test]
+    fn reset_lane_restarts_one_stream_without_touching_others() {
+        let m = LstmPredictor::new(ModelSpec {
+            hidden1: 8,
+            hidden2: 4,
+            seed: 13,
+        });
+        let width = 3;
+        let mut state = m.batch_state(width);
+        let mut scratch = m.batch_scratch(width);
+        let x_of = |t: usize, lane: usize| {
+            let mut x = [0.0; FEATURE_DIM];
+            for (c, v) in x.iter_mut().enumerate() {
+                *v = ((t + c) as f64 * 0.23 + lane as f64).cos();
+            }
+            x
+        };
+        let panel_of = |t: usize| {
+            let mut p = vec![0.0; FEATURE_DIM * width];
+            for lane in 0..width {
+                let x = x_of(t, lane);
+                for (c, v) in x.iter().enumerate() {
+                    p[c * width + lane] = *v;
+                }
+            }
+            p
+        };
+        for t in 0..10 {
+            m.step_batch(&panel_of(t), &mut state, &mut scratch);
+        }
+        // Restart lane 1 mid-flight; it must now track a fresh scalar
+        // stream while lanes 0 and 2 continue theirs.
+        state.reset_lane(1);
+        let mut fresh = m.init_state();
+        let mut fresh_scratch = m.infer_scratch();
+        let mut veterans: Vec<(PredictorState, InferScratch)> =
+            (0..width).map(|_| (m.init_state(), m.infer_scratch())).collect();
+        for t in 0..10 {
+            for (lane, (st, sc)) in veterans.iter_mut().enumerate() {
+                let _ = m.step_with(&x_of(t, lane), st, sc);
+            }
+        }
+        for t in 10..25 {
+            m.step_batch(&panel_of(t), &mut state, &mut scratch);
+            let y_fresh = m.step_with(&x_of(t, 1), &mut fresh, &mut fresh_scratch);
+            assert_eq!(scratch.output(1), y_fresh, "restarted lane at t {t}");
+            for lane in [0usize, 2] {
+                let (st, sc) = &mut veterans[lane];
+                let y_vet = m.step_with(&x_of(t, lane), st, sc);
+                assert_eq!(scratch.output(lane), y_vet, "veteran lane {lane} at t {t}");
+            }
+        }
     }
 
     #[test]

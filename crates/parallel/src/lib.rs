@@ -55,6 +55,40 @@ pub fn thread_count(jobs: usize) -> usize {
     configured.clamp(1, MAX_THREADS).min(jobs.max(1))
 }
 
+/// Default lockstep batch width when `ADAS_BATCH` is unset.
+pub const DEFAULT_BATCH_WIDTH: usize = 16;
+
+/// Upper bound on the lockstep batch width (defensive clamp — panel
+/// memory grows linearly with width and the returns flatten long before
+/// this).
+pub const MAX_BATCH_WIDTH: usize = 1024;
+
+/// Resolves the lockstep batch width for the structure-of-arrays campaign
+/// path from the `ADAS_BATCH` environment variable.
+///
+/// * unset → [`DEFAULT_BATCH_WIDTH`];
+/// * `ADAS_BATCH=1` (or `0`, with a warning) → scalar per-run path;
+/// * otherwise the value, clamped to `[1, 1024]`.
+///
+/// Work is still stolen from the shared queue — just in batch-sized
+/// chunks — and per-run results are bit-identical at any width, so this
+/// knob trades scheduling granularity against batched-kernel throughput
+/// without affecting outcomes.
+#[must_use]
+pub fn batch_width() -> usize {
+    env::parse::<usize>("ADAS_BATCH", "a batch width ≥ 1")
+        .map(|n| {
+            if n == 0 {
+                eprintln!("[env] ignoring ADAS_BATCH=0: expected a batch width ≥ 1");
+                DEFAULT_BATCH_WIDTH
+            } else {
+                n
+            }
+        })
+        .unwrap_or(DEFAULT_BATCH_WIDTH)
+        .clamp(1, MAX_BATCH_WIDTH)
+}
+
 /// Shared cancellation + progress instrumentation for one [`map_ctl`]
 /// call.
 ///

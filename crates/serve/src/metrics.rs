@@ -201,7 +201,7 @@ impl ServeMetrics {
              \"runs_executed\": {},\n  \"single_runs\": {},\n  \"replays\": {},\n  \
              \"connections\": {},\n  \"protocol_errors\": {},\n  \
              \"artifact_cache\": {{ \"enabled\": {}, \"hits\": {}, \"misses\": {}, \
-             \"writes\": {} }},\n  \"latency\": {{\n    \"queue_wait_ms\": {},\n    \
+             \"writes\": {}, \"bypasses\": {} }},\n  \"latency\": {{\n    \"queue_wait_ms\": {},\n    \
              \"cell_wall_ms\": {},\n    \"model_train_ms\": {}\n  }}\n}}\n",
             g(&self.jobs_submitted),
             g(&self.jobs_rejected),
@@ -220,6 +220,7 @@ impl ServeMetrics {
             cs.hits,
             cs.misses,
             cs.writes,
+            cs.bypasses,
             self.queue_wait.to_json(),
             self.cell_wall.to_json(),
             self.model_train.to_json(),

@@ -352,10 +352,16 @@ fn compute_cell(
     }
 
     let config = spec.config_for(cell);
-    let records = adas_parallel::map_ctl(
+    // Scalar or lockstep-batched per `ADAS_BATCH` — bit-identical results
+    // either way; `job.ctl` still cancels (at chunk granularity when
+    // batched).
+    let records = adas_core::run_ids_ctl(
         ids,
-        || (),
-        |(), _, id| run_single(*id, cell.fault, &config, model_used, spec.campaign_seed),
+        cell.fault,
+        &config,
+        model_used,
+        spec.campaign_seed,
+        adas_parallel::batch_width(),
         &job.ctl,
     )?;
     shared

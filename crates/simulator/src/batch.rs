@@ -1,0 +1,303 @@
+//! Structure-of-arrays world state for lockstep batch execution.
+//!
+//! A batch of campaign runs advances in lockstep: every active lane
+//! executes the same pipeline stage of the same 10 ms cycle before any
+//! lane moves on. [`BatchWorld`] is the batch-level view of that state —
+//! ego position, lateral offset, speed, acceleration, simulation clock,
+//! surface friction, and patch/fault activity held as contiguous
+//! per-lane arrays, plus the active-lane mask that handles per-run
+//! divergence (accident / time limit / quiescence) without branching the
+//! lockstep loop per run.
+//!
+//! Per-lane `World`s remain authoritative for the physics itself: bit
+//! identity with the scalar path requires each run's f64 operation
+//! sequence to be exactly the scalar one, so lane state is *captured*
+//! into the panels after each lockstep tick rather than integrated in
+//! transposed form. The panels give batch drivers (and diagnostics) a
+//! cache-friendly columnar view and carry the occupancy accounting that
+//! `results/BENCH_campaign.json` reports.
+
+use crate::friction::SurfaceFriction;
+use crate::world::World;
+
+/// Snapshot of one lane, read back from the panels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneState {
+    /// Ego longitudinal position, metres.
+    pub s: f64,
+    /// Ego lateral offset from lane centre, metres.
+    pub d: f64,
+    /// Ego speed, m/s.
+    pub v: f64,
+    /// Ego realised acceleration, m/s².
+    pub accel: f64,
+    /// Simulation clock, seconds.
+    pub time: f64,
+    /// Road-surface friction coefficient μ.
+    pub friction: f64,
+    /// Whether the adversarial patch / fault was active this cycle.
+    pub fault_active: bool,
+}
+
+/// Contiguous per-lane world state for one lockstep batch.
+#[derive(Debug, Clone)]
+pub struct BatchWorld {
+    width: usize,
+    active: Vec<bool>,
+    s: Vec<f64>,
+    d: Vec<f64>,
+    v: Vec<f64>,
+    accel: Vec<f64>,
+    time: Vec<f64>,
+    friction: Vec<f64>,
+    fault: Vec<bool>,
+    ticks: u64,
+    lane_steps: u64,
+}
+
+impl BatchWorld {
+    /// An empty batch with `width` lanes, all inactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "batch width must be ≥ 1");
+        Self {
+            width,
+            active: vec![false; width],
+            s: vec![0.0; width],
+            d: vec![0.0; width],
+            v: vec![0.0; width],
+            accel: vec![0.0; width],
+            time: vec![0.0; width],
+            friction: vec![0.0; width],
+            fault: vec![false; width],
+            ticks: 0,
+            lane_steps: 0,
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Marks `lane` active and captures the run's initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is already active or out of range.
+    pub fn activate(&mut self, lane: usize, world: &World) {
+        assert!(lane < self.width, "lane out of range");
+        assert!(!self.active[lane], "lane {lane} already active");
+        self.active[lane] = true;
+        self.capture(lane, world, false);
+    }
+
+    /// Captures one lane's post-step state into the panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is inactive or out of range.
+    pub fn capture(&mut self, lane: usize, world: &World, fault_active: bool) {
+        assert!(lane < self.width, "lane out of range");
+        assert!(self.active[lane], "capture on inactive lane {lane}");
+        let st = world.ego().state();
+        let SurfaceFriction { mu, .. } = world.surface();
+        self.s[lane] = st.s;
+        self.d[lane] = st.d;
+        self.v[lane] = st.v;
+        self.accel[lane] = st.accel;
+        self.time[lane] = world.time();
+        self.friction[lane] = mu;
+        self.fault[lane] = fault_active;
+    }
+
+    /// Retires a finished lane: it drops out of the active mask (its last
+    /// captured state stays readable) and the slot becomes refillable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is inactive or out of range.
+    pub fn retire(&mut self, lane: usize) {
+        assert!(lane < self.width, "lane out of range");
+        assert!(self.active[lane], "retire on inactive lane {lane}");
+        self.active[lane] = false;
+    }
+
+    /// Whether `lane` is currently active.
+    #[must_use]
+    pub fn is_active(&self, lane: usize) -> bool {
+        self.active[lane]
+    }
+
+    /// Number of currently active lanes.
+    #[must_use]
+    pub fn active_lanes(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+
+    /// The active-lane mask.
+    #[must_use]
+    pub fn active_mask(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Accounts one completed lockstep tick (all active lanes advanced one
+    /// cycle) for the occupancy statistics.
+    pub fn advance(&mut self) {
+        self.ticks += 1;
+        self.lane_steps += self.active_lanes() as u64;
+    }
+
+    /// Lockstep ticks executed so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total per-lane steps executed (Σ active lanes over ticks).
+    #[must_use]
+    pub fn lane_steps(&self) -> u64 {
+        self.lane_steps
+    }
+
+    /// Mean fraction of batch slots doing useful work per tick, in
+    /// `[0, 1]`. `None` before the first tick.
+    #[must_use]
+    pub fn occupancy(&self) -> Option<f64> {
+        (self.ticks > 0)
+            .then(|| self.lane_steps as f64 / (self.ticks * self.width as u64) as f64)
+    }
+
+    /// Reads one lane's last captured state. `None` for a lane that was
+    /// never activated.
+    #[must_use]
+    pub fn lane(&self, lane: usize) -> Option<LaneState> {
+        assert!(lane < self.width, "lane out of range");
+        (self.time[lane] > 0.0 || self.active[lane]).then(|| LaneState {
+            s: self.s[lane],
+            d: self.d[lane],
+            v: self.v[lane],
+            accel: self.accel[lane],
+            time: self.time[lane],
+            friction: self.friction[lane],
+            fault_active: self.fault[lane],
+        })
+    }
+
+    /// Ego longitudinal positions panel (one slot per lane).
+    #[must_use]
+    pub fn positions(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// Ego speeds panel.
+    #[must_use]
+    pub fn speeds(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Ego lateral offsets panel.
+    #[must_use]
+    pub fn lane_offsets(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Surface friction coefficients panel.
+    #[must_use]
+    pub fn frictions(&self) -> &[f64] {
+        &self.friction
+    }
+
+    /// Patch/fault-activity panel.
+    #[must_use]
+    pub fn fault_mask(&self) -> &[bool] {
+        &self.fault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::RoadBuilder;
+    use crate::vehicle::VehicleCommand;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        let road = RoadBuilder::new().straight(2000.0).build();
+        let mut w = World::new(WorldConfig::default(), road);
+        w.spawn_ego(50.0, 20.0);
+        w
+    }
+
+    #[test]
+    fn activate_capture_retire_lifecycle() {
+        let mut b = BatchWorld::new(4);
+        assert_eq!(b.active_lanes(), 0);
+        let mut w = world();
+        b.activate(1, &w);
+        assert!(b.is_active(1));
+        assert_eq!(b.active_lanes(), 1);
+        let lane = b.lane(1).expect("captured");
+        assert_eq!(lane.s, 50.0);
+        assert_eq!(lane.v, 20.0);
+        assert!(!lane.fault_active);
+
+        w.step(VehicleCommand {
+            gas: 0.5,
+            brake: 0.0,
+            steer: 0.0,
+        });
+        b.capture(1, &w, true);
+        let lane = b.lane(1).expect("captured");
+        assert!(lane.time > 0.0);
+        assert!(lane.s > 50.0);
+        assert!(lane.fault_active);
+
+        b.retire(1);
+        assert!(!b.is_active(1));
+        // Last captured state stays readable after retirement.
+        assert!(b.lane(1).is_some());
+        assert_eq!(b.lane(0), None, "never-activated lane has no state");
+    }
+
+    #[test]
+    fn occupancy_accounts_active_fraction() {
+        let mut b = BatchWorld::new(4);
+        let w = world();
+        assert_eq!(b.occupancy(), None);
+        b.activate(0, &w);
+        b.activate(1, &w);
+        b.advance(); // 2 of 4 active
+        b.retire(1);
+        b.advance(); // 1 of 4 active
+        assert_eq!(b.ticks(), 2);
+        assert_eq!(b.lane_steps(), 3);
+        assert_eq!(b.occupancy(), Some(3.0 / 8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn double_activation_panics() {
+        let mut b = BatchWorld::new(2);
+        let w = world();
+        b.activate(0, &w);
+        b.activate(0, &w);
+    }
+
+    #[test]
+    fn panels_are_lane_indexed() {
+        let mut b = BatchWorld::new(3);
+        let w = world();
+        b.activate(2, &w);
+        assert_eq!(b.positions()[2], 50.0);
+        assert_eq!(b.speeds()[2], 20.0);
+        assert_eq!(b.positions()[0], 0.0);
+        assert_eq!(b.active_mask(), &[false, false, true]);
+        assert!(b.frictions()[2] > 0.0);
+    }
+}

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod collision;
 pub mod friction;
 pub mod math;
@@ -40,6 +41,7 @@ pub mod units;
 pub mod vehicle;
 pub mod world;
 
+pub use batch::{BatchWorld, LaneState};
 pub use collision::{CollisionEvent, LaneDeparture};
 pub use friction::{FrictionCondition, SurfaceFriction};
 pub use math::Vec2;
