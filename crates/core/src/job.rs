@@ -340,6 +340,17 @@ impl CampaignSpec {
         }
     }
 
+    /// The consistent-hashing routing key of one cell: [`Self::cell_key`]
+    /// with the model fingerprint deliberately excluded, so a coordinator
+    /// can route cells without training a model and — more importantly —
+    /// so a cell keeps landing on the same worker across campaigns that
+    /// only differ in resident model identity. The worker still looks its
+    /// caches up under the full (model-qualified) [`Self::cell_key`].
+    #[must_use]
+    pub fn route_key(&self, cell: &CellSpec) -> u64 {
+        self.cell_key(cell, None).value()
+    }
+
     /// Serialises the spec (versioned fixed layout).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -483,6 +494,27 @@ mod tests {
                 },
             ],
         }
+    }
+
+    #[test]
+    fn route_key_is_stable_and_model_independent() {
+        let spec = sample_spec();
+        // Distinct cells route independently…
+        let keys: Vec<u64> = spec.cells.iter().map(|c| spec.route_key(c)).collect();
+        assert_eq!(keys.len(), 3);
+        assert!(keys[0] != keys[1] && keys[1] != keys[2] && keys[0] != keys[2]);
+        // …and the key matches the model-less cache key exactly, so a
+        // coordinator and a cache-warm worker agree on cell identity.
+        for cell in &spec.cells {
+            assert_eq!(spec.route_key(cell), spec.cell_key(cell, None).value());
+        }
+        // A sub-spec carrying only one cell (a fabric assignment slice)
+        // routes that cell identically to the full grid.
+        let sub = CampaignSpec {
+            cells: vec![spec.cells[1]],
+            ..spec.clone()
+        };
+        assert_eq!(sub.route_key(&sub.cells[0]), keys[1]);
     }
 
     #[test]

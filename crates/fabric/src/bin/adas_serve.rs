@@ -1,7 +1,11 @@
-//! `adas-serve` — campaign evaluation daemon + client in one binary.
+//! `adas-serve` — campaign evaluation daemon, fabric coordinator, and
+//! client in one binary.
 //!
 //! ```text
-//! adas-serve serve  [--addr HOST:PORT] [--queue N]
+//! adas-serve serve   [--addr HOST:PORT] [--queue N]      (alias: worker)
+//! adas-serve coordinator [--addr HOST:PORT] [--workers A,B,...] [--admit N]
+//! adas-serve bench   --clients K --workers N [--campaigns M] [--admit N]
+//!                    [campaign flags]
 //! adas-serve client submit   [--addr A] [campaign flags]
 //! adas-serve client bench    [--addr A] [campaign flags]
 //! adas-serve client status   JOB [--addr A]
@@ -16,12 +20,14 @@
 //! (default 10), `--max-steps N` (0 = full runs), `--scenarios S1,S4|all`,
 //! `--faults none,rd,dc,mixed|all`, `--rows none,driver-check,…|all`.
 //!
-//! Defaults come from `ADAS_SERVE_ADDR` / `ADAS_SERVE_QUEUE` where a flag
-//! is not given. Exit codes: 0 success, 1 rejected/diverged/failed, 2
-//! usage or transport error.
+//! Defaults come from `ADAS_SERVE_ADDR` / `ADAS_SERVE_QUEUE` and the
+//! `ADAS_FABRIC_*` family where a flag is not given. Exit codes: 0
+//! success, 1 rejected/diverged/failed, 2 usage or transport error.
 
 use adas_core::job::CellSpec;
 use adas_core::{CampaignSpec, InterventionConfig, SCENARIO_MASK_ALL};
+use adas_fabric::bench::BenchConfig;
+use adas_fabric::{Coordinator, CoordinatorServer, FabricConfig};
 use adas_scenarios::ScenarioId;
 use adas_serve::{Client, JobState, ReplayOutcome, Server, ServerConfig, Submission};
 use std::process::ExitCode;
@@ -30,9 +36,23 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "adas-serve — long-lived campaign evaluation service
 
 USAGE:
-  adas-serve serve [--addr HOST:PORT] [--queue N]
-      Run the daemon (defaults: ADAS_SERVE_ADDR or 127.0.0.1:4747,
+  adas-serve serve [--addr HOST:PORT] [--queue N]        (alias: worker)
+      Run a daemon (defaults: ADAS_SERVE_ADDR or 127.0.0.1:4747,
       ADAS_SERVE_QUEUE or 8). SIGTERM/ctrl-c drains in-flight jobs.
+      A daemon doubles as a fabric worker: coordinators register via
+      the v2 RegisterWorker/AssignCells frames.
+
+  adas-serve coordinator [--addr HOST:PORT] [--workers A,B,...] [--admit N]
+      Shard submitted campaigns across a worker fleet (consistent-hash
+      routing, heartbeat health tracking, re-dispatch from dead workers,
+      deterministic grid-order merge). Workers default to
+      ADAS_FABRIC_WORKERS; all `client` verbs work against it.
+
+  adas-serve bench --clients K --workers N [--campaigns M] [--admit N]
+                   [campaign flags]
+      Saturation sweep: spin up in-process worker fleets and measure
+      cells/sec + p50/p99 latency for powers-of-two client × worker
+      counts. Writes results/SERVE_bench.json.
 
   adas-serve client submit [--addr A] [--seed N] [--reps N]
                            [--max-steps N] [--scenarios LIST|all]
@@ -42,8 +62,7 @@ USAGE:
       driver-check-aeb-comp driver-check-aeb-indep aeb-comp aeb-indep ml.
 
   adas-serve client bench [--addr A] [campaign flags]
-      Submit the same campaign twice and report cold vs warm wall time
-      (written to results/SERVE_bench.json).
+      Submit the same campaign twice and report cold vs warm wall time.
 
   adas-serve client status JOB | watch JOB | cancel JOB [--addr A]
   adas-serve client metrics [--addr A]
@@ -57,7 +76,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     match cmd.as_str() {
-        "serve" => cmd_serve(rest),
+        "serve" | "worker" => cmd_serve(rest),
+        "coordinator" => cmd_coordinator(rest),
+        "bench" => cmd_bench(rest),
         "client" => cmd_client(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -106,6 +127,101 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         eprintln!("[serve] listening on {addr} (SIGTERM or `client shutdown` to drain + exit)");
         server.run().map_err(|e| e.to_string())?;
         eprintln!("[serve] drained, exiting");
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_coordinator(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let result = (|| -> Result<(), String> {
+        let mut config = FabricConfig::from_env();
+        if let Some(list) = take_flag(&mut args, "--workers")? {
+            config.workers = list
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .collect();
+        }
+        if let Some(admit) = take_flag(&mut args, "--admit")? {
+            config.admit = admit
+                .parse::<usize>()
+                .map_err(|e| format!("--admit: {e}"))?
+                .max(1);
+        }
+        let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| {
+            adas_core::env::raw("ADAS_SERVE_ADDR").unwrap_or_else(|| adas_serve::DEFAULT_ADDR.into())
+        });
+        if !args.is_empty() {
+            return Err(format!("unexpected arguments: {args:?}"));
+        }
+        let admit = config.admit;
+        let coordinator = Coordinator::connect(&config).map_err(|e| e.to_string())?;
+        let front =
+            CoordinatorServer::bind(&addr, coordinator, admit).map_err(|e| format!("bind: {e}"))?;
+        let bound = front.local_addr().map_err(|e| e.to_string())?;
+        eprintln!(
+            "[fabric] coordinator listening on {bound} over {} workers (`client shutdown` to exit)",
+            config.workers.len()
+        );
+        front.run().map_err(|e| e.to_string())?;
+        eprintln!("[fabric] coordinator exiting");
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let result = (|| -> Result<(), String> {
+        let spec = campaign_from_flags(&mut args)?;
+        let max_clients = match take_flag(&mut args, "--clients")? {
+            Some(s) => s.parse::<usize>().map_err(|e| format!("--clients: {e}"))?.max(1),
+            None => 4,
+        };
+        let max_workers = match take_flag(&mut args, "--workers")? {
+            Some(s) => s.parse::<usize>().map_err(|e| format!("--workers: {e}"))?.max(1),
+            None => 2,
+        };
+        let campaigns_per_client = match take_flag(&mut args, "--campaigns")? {
+            Some(s) => s.parse::<usize>().map_err(|e| format!("--campaigns: {e}"))?.max(1),
+            None => 2,
+        };
+        let admit = match take_flag(&mut args, "--admit")? {
+            Some(s) => s.parse::<usize>().map_err(|e| format!("--admit: {e}"))?.max(1),
+            None => 4,
+        };
+        if !args.is_empty() {
+            return Err(format!("unexpected arguments: {args:?}"));
+        }
+        let config = BenchConfig {
+            max_clients,
+            max_workers,
+            campaigns_per_client,
+            admit,
+            spec,
+        };
+        eprintln!(
+            "[bench] saturation sweep: ≤{max_workers} workers × ≤{max_clients} clients, \
+             {} cells/campaign",
+            config.spec.cells.len()
+        );
+        let points = adas_fabric::bench::run(&config)?;
+        let json = adas_fabric::bench::to_json(&config, &points);
+        adas_bench::write_results_file("SERVE_bench.json", &json);
+        println!("{json}");
         Ok(())
     })();
     match result {
@@ -242,32 +358,37 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 expect_empty(&args)?;
                 let mut client = connect(&addr)?;
                 let t0 = Instant::now();
-                let outcome = client
-                    .run_campaign(&spec, |index, stats| {
-                        println!(
-                            "cell {index:>3}: A1 {:6.2}%  A2 {:6.2}%  prevented {:6.2}%  ({} runs)",
-                            stats.a1_pct, stats.a2_pct, stats.prevented_pct, stats.runs
-                        );
-                    })
-                    .map_err(|e| e.to_string())?;
-                match outcome {
-                    Err(Submission::Rejected {
+                // Queue-full rejections back off on the deterministic
+                // jittered schedule before giving up.
+                let seed = spec.campaign_seed;
+                match client
+                    .submit_with_backoff(&spec, adas_serve::backoff::DEFAULT_ATTEMPTS, seed)
+                    .map_err(|e| e.to_string())?
+                {
+                    Submission::Rejected {
                         retry_after_ms,
                         reason,
-                    }) => {
+                    } => {
                         eprintln!("rejected: {reason} (retry after {retry_after_ms} ms)");
                         Ok(ExitCode::from(1))
                     }
-                    Err(Submission::Accepted { .. }) => unreachable!("run_campaign streams"),
-                    Ok(result) => {
+                    Submission::Accepted { job_id, .. } => {
+                        let (cells, state) = client
+                            .stream_results(|index, stats| {
+                                println!(
+                                    "cell {index:>3}: A1 {:6.2}%  A2 {:6.2}%  prevented {:6.2}%  ({} runs)",
+                                    stats.a1_pct, stats.a2_pct, stats.prevented_pct, stats.runs
+                                );
+                            })
+                            .map_err(|e| e.to_string())?;
                         println!(
                             "job {} {} · {} cells in {:.2} s",
-                            result.job_id,
-                            result.state,
-                            result.cells.len(),
+                            job_id,
+                            state,
+                            cells.len(),
                             t0.elapsed().as_secs_f64()
                         );
-                        Ok(if result.state == JobState::Done {
+                        Ok(if state == JobState::Done {
                             ExitCode::SUCCESS
                         } else {
                             ExitCode::from(1)
@@ -300,15 +421,6 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 let warm_s = lap("warm")?;
                 let speedup = if warm_s > 0.0 { cold_s / warm_s } else { 0.0 };
                 println!("speedup: {speedup:.1}× (cold {cold_s:.3} s → warm {warm_s:.3} s)");
-                adas_bench::write_results_file(
-                    "SERVE_bench.json",
-                    &format!(
-                        "{{\n  \"cells\": {},\n  \"reps\": {},\n  \"cold_s\": {cold_s:.3},\n  \
-                         \"warm_s\": {warm_s:.3},\n  \"speedup\": {speedup:.1}\n}}\n",
-                        spec.cells.len(),
-                        spec.repetitions
-                    ),
-                );
                 Ok(ExitCode::SUCCESS)
             }
             "status" => {

@@ -1,0 +1,385 @@
+//! The campaign coordinator: shards a grid across the fleet, re-dispatches
+//! cells from dead or slow workers, and merges streamed results in
+//! deterministic grid order.
+//!
+//! # Dispatch algorithm
+//!
+//! A campaign runs in **rounds**. Each round routes every still-missing
+//! cell over a consistent-hash ring built from the *currently live*
+//! workers (so warm cells stay put while everyone is healthy, and only a
+//! dead worker's cells move), then dispatches one `AssignCells` slice per
+//! worker on its own data connection and streams results into the merge
+//! buffer. A worker whose connection errors or stalls past the deadline
+//! is marked dead; its unfinished cells simply remain missing and the
+//! next round re-routes them across the survivors. Queue-full rejections
+//! retry on the same worker with the client backoff schedule — a busy
+//! worker is not a dead worker.
+//!
+//! # Determinism
+//!
+//! The merge buffer is indexed by global grid position and emits the
+//! `on_cell` stream as a strict in-order prefix: cell *k* is emitted only
+//! after every cell `< k`. Arrival order — which worker answered first,
+//! how often a cell was re-dispatched — can never reorder or duplicate
+//! output, so a sharded campaign is byte-identical to a single-daemon or
+//! in-process run of the same grid.
+
+use crate::fleet::Fleet;
+use crate::ring::HashRing;
+use crate::FabricError;
+use adas_core::{CampaignSpec, CellStats};
+use adas_serve::{Client, Submission};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Rounds with neither progress nor a fleet change before a campaign is
+/// declared stuck (workers persistently rejecting or wedged).
+const MAX_STALLED_ROUNDS: u32 = 8;
+
+/// Submission attempts per assignment before yielding to the next round.
+const ASSIGN_ATTEMPTS: u32 = 6;
+
+/// Fabric topology and tuning, usually from `ADAS_FABRIC_*`.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Worker dial addresses (`host:port`, configuration order = ring
+    /// slot order).
+    pub workers: Vec<String>,
+    /// Heartbeat probe interval.
+    pub heartbeat: Duration,
+    /// Per-frame stall deadline: a worker silent this long mid-stream (or
+    /// unresponsive to probes) is dead.
+    pub deadline: Duration,
+    /// Virtual ring points per worker.
+    pub vnodes: usize,
+    /// Concurrent campaigns admitted by the coordinator front-end.
+    pub admit: usize,
+    /// Fleet epoch sent with registrations.
+    pub epoch: u64,
+}
+
+impl FabricConfig {
+    /// Configuration from `ADAS_FABRIC_WORKERS` (comma-separated
+    /// addresses), `ADAS_FABRIC_HEARTBEAT_MS`, `ADAS_FABRIC_DEADLINE_MS`,
+    /// `ADAS_FABRIC_VNODES`, and `ADAS_FABRIC_ADMIT`, through the
+    /// hardened `adas_parallel::env` parsers.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let workers = adas_parallel::env::raw("ADAS_FABRIC_WORKERS")
+            .map(|list| {
+                list.split(',')
+                    .map(|a| a.trim().to_owned())
+                    .filter(|a| !a.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let heartbeat_ms: u64 =
+            adas_parallel::env::parse_or("ADAS_FABRIC_HEARTBEAT_MS", "a probe interval in ms", 1000);
+        let deadline_ms: u64 =
+            adas_parallel::env::parse_or("ADAS_FABRIC_DEADLINE_MS", "a stall deadline in ms", 30_000);
+        Self {
+            workers,
+            heartbeat: Duration::from_millis(heartbeat_ms.max(10)),
+            deadline: Duration::from_millis(deadline_ms.max(100)),
+            vnodes: adas_parallel::env::parse_or("ADAS_FABRIC_VNODES", "virtual nodes ≥ 1", 64usize)
+                .clamp(1, 4096),
+            admit: adas_parallel::env::parse_or("ADAS_FABRIC_ADMIT", "admitted campaigns ≥ 1", 4usize)
+                .max(1),
+            epoch: 1,
+        }
+    }
+}
+
+/// Coordinator-side counters, snapshotted into the `Metrics` frame.
+#[derive(Debug, Default)]
+pub struct FabricMetrics {
+    /// Campaigns merged to completion.
+    pub campaigns: AtomicU64,
+    /// Campaigns bounced at the admission limit.
+    pub rejected: AtomicU64,
+    /// Cells dispatched (re-dispatches counted again).
+    pub cells_assigned: AtomicU64,
+    /// Cells merged (each global index exactly once).
+    pub cells_merged: AtomicU64,
+    /// Late/duplicate results dropped by the merge buffer.
+    pub duplicates_dropped: AtomicU64,
+    /// Extra rounds forced by death/slowness/backpressure.
+    pub redispatch_rounds: AtomicU64,
+    /// Queue-full rejections absorbed by assignment backoff.
+    pub assign_rejections: AtomicU64,
+}
+
+/// In-order merge buffer: slots by global index, emitting a strict
+/// prefix stream.
+struct Merge<'a> {
+    slots: Vec<Option<CellStats>>,
+    next_emit: usize,
+    on_cell: &'a mut (dyn FnMut(u32, &CellStats) + Send),
+    duplicates: u64,
+}
+
+impl Merge<'_> {
+    /// Inserts one result; first write wins (re-dispatch races and late
+    /// frames from timed-out workers are dropped). Emits every newly
+    /// contiguous cell in grid order.
+    fn insert(&mut self, index: usize, stats: CellStats) {
+        if index >= self.slots.len() || self.slots[index].is_some() {
+            self.duplicates += 1;
+            return;
+        }
+        self.slots[index] = Some(stats);
+        while self.next_emit < self.slots.len() {
+            let Some(stats) = &self.slots[self.next_emit] else {
+                break;
+            };
+            (self.on_cell)(self.next_emit as u32, stats);
+            self.next_emit += 1;
+        }
+    }
+
+    fn missing(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A connected coordinator: fleet handle + dispatch state.
+#[derive(Debug)]
+pub struct Coordinator {
+    /// The worker fleet (shared with the monitor thread).
+    pub fleet: Arc<Fleet>,
+    /// Live counters.
+    pub metrics: FabricMetrics,
+    vnodes: usize,
+    deadline: Duration,
+    assignment_ids: AtomicU64,
+}
+
+impl Coordinator {
+    /// Wraps a connected fleet.
+    #[must_use]
+    pub fn new(fleet: Arc<Fleet>, config: &FabricConfig) -> Self {
+        Self {
+            fleet,
+            metrics: FabricMetrics::default(),
+            vnodes: config.vnodes,
+            deadline: config.deadline,
+            assignment_ids: AtomicU64::new(1),
+        }
+    }
+
+    /// Connects the fleet and starts its monitor in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fleet connection failures ([`FabricError::NoWorkers`] /
+    /// [`FabricError::NoLiveWorkers`]).
+    pub fn connect(config: &FabricConfig) -> Result<Self, FabricError> {
+        let fleet = Fleet::connect(
+            &config.workers,
+            config.epoch,
+            config.heartbeat,
+            config.deadline,
+        )?;
+        fleet.start_monitor();
+        Ok(Self::new(fleet, config))
+    }
+
+    /// Runs one campaign across the fleet: shards by routing key, streams
+    /// `on_cell(global_index, stats)` in strict grid order, and returns
+    /// the full grid (index order).
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::NoLiveWorkers`] when the whole fleet is dead with
+    /// cells outstanding; [`FabricError::Stalled`] when live workers stop
+    /// making progress.
+    pub fn run_campaign(
+        &self,
+        spec: &CampaignSpec,
+        mut on_cell: impl FnMut(u32, &CellStats) + Send,
+    ) -> Result<Vec<CellStats>, FabricError> {
+        if !spec.validate() {
+            return Err(FabricError::InvalidSpec);
+        }
+        let keys: Vec<u64> = spec.cells.iter().map(|c| spec.route_key(c)).collect();
+        let merge = Mutex::new(Merge {
+            slots: vec![None; spec.cells.len()],
+            next_emit: 0,
+            on_cell: &mut on_cell,
+            duplicates: 0,
+        });
+
+        let mut round = 0u32;
+        let mut stalled = 0u32;
+        loop {
+            let missing = merge.lock().expect("merge lock").missing();
+            if missing.is_empty() {
+                break;
+            }
+            let live = self.fleet.live_slots();
+            if live.is_empty() {
+                return Err(FabricError::NoLiveWorkers);
+            }
+            if round > 0 {
+                self.metrics.redispatch_rounds.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "[fabric] round {round}: re-dispatching {} cells across {} live workers",
+                    missing.len(),
+                    live.len()
+                );
+            }
+            // Route the missing cells over the live subset of the ring.
+            let ring = HashRing::new(
+                &live.iter().map(|&s| self.fleet.workers[s].id).collect::<Vec<_>>(),
+                self.vnodes,
+            );
+            let mut shards: Vec<Vec<u32>> = vec![Vec::new(); live.len()];
+            for &cell in &missing {
+                let slot = ring.route(keys[cell]).expect("non-empty ring");
+                shards[slot].push(cell as u32);
+            }
+            let before = missing.len();
+            let fleet_before = live.len();
+            std::thread::scope(|scope| {
+                for (ring_slot, indices) in shards.into_iter().enumerate() {
+                    if indices.is_empty() {
+                        continue;
+                    }
+                    let fleet_slot = live[ring_slot];
+                    let merge = &merge;
+                    scope.spawn(move || {
+                        self.dispatch_shard(fleet_slot, &indices, spec, merge);
+                    });
+                }
+            });
+            let after = merge.lock().expect("merge lock").missing().len();
+            let fleet_after = self.fleet.live_slots().len();
+            if after == before && fleet_after == fleet_before {
+                stalled += 1;
+                if stalled >= MAX_STALLED_ROUNDS {
+                    return Err(FabricError::Stalled {
+                        missing: after,
+                        rounds: round + 1,
+                    });
+                }
+            } else {
+                stalled = 0;
+            }
+            round += 1;
+        }
+
+        let mut merged = merge.into_inner().expect("merge lock");
+        self.metrics
+            .duplicates_dropped
+            .fetch_add(merged.duplicates, Ordering::Relaxed);
+        self.metrics.campaigns.fetch_add(1, Ordering::Relaxed);
+        let cells: Vec<CellStats> = merged
+            .slots
+            .drain(..)
+            .map(|s| s.expect("merge complete"))
+            .collect();
+        self.metrics
+            .cells_merged
+            .fetch_add(cells.len() as u64, Ordering::Relaxed);
+        Ok(cells)
+    }
+
+    /// Dispatches one worker's shard on a fresh data connection and
+    /// drains its result stream into the merge buffer. Transport failures
+    /// and stream stalls mark the worker dead; its unfinished cells stay
+    /// missing for the next round.
+    fn dispatch_shard(
+        &self,
+        fleet_slot: usize,
+        indices: &[u32],
+        spec: &CampaignSpec,
+        merge: &Mutex<Merge<'_>>,
+    ) {
+        let worker = &self.fleet.workers[fleet_slot];
+        let sub = CampaignSpec {
+            cells: indices.iter().map(|&i| spec.cells[i as usize]).collect(),
+            ..spec.clone()
+        };
+        let assignment_id = self.assignment_ids.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .cells_assigned
+            .fetch_add(indices.len() as u64, Ordering::Relaxed);
+
+        let mut client = match Client::connect(&worker.addr) {
+            Ok(c) => c,
+            Err(_) => return self.fleet.mark_dead(fleet_slot),
+        };
+        // The stall deadline applies per frame: any single read blocking
+        // this long means the worker is wedged (results, even cold
+        // computes, heartbeat the stream via per-cell frames).
+        if client.set_read_timeout(Some(self.deadline)).is_err() {
+            return self.fleet.mark_dead(fleet_slot);
+        }
+
+        // Queue-full is backpressure, not death: retry on the backoff
+        // schedule, then give the cells back to the next round.
+        let mut attempt = 0u32;
+        loop {
+            match client.assign_cells(assignment_id, indices, &sub) {
+                Ok(Submission::Accepted { .. }) => break,
+                Ok(Submission::Rejected { retry_after_ms, .. }) => {
+                    self.metrics.assign_rejections.fetch_add(1, Ordering::Relaxed);
+                    if retry_after_ms == 0 || attempt + 1 >= ASSIGN_ATTEMPTS {
+                        return; // worker draining or persistently full
+                    }
+                    std::thread::sleep(Duration::from_millis(adas_serve::backoff::delay_ms(
+                        retry_after_ms,
+                        attempt,
+                        assignment_id,
+                    )));
+                    attempt += 1;
+                }
+                Err(_) => return self.fleet.mark_dead(fleet_slot),
+            }
+        }
+
+        let streamed = client.stream_results(|global_index, stats| {
+            merge
+                .lock()
+                .expect("merge lock")
+                .insert(global_index as usize, stats.clone());
+        });
+        match streamed {
+            Ok((_, adas_serve::JobState::Done)) => {}
+            // A cancelled/failed assignment or any transport/stall error:
+            // treat the worker as unhealthy and let re-dispatch recover.
+            _ => self.fleet.mark_dead(fleet_slot),
+        }
+    }
+
+    /// Coordinator metrics snapshot (hand-rolled JSON, like the serve
+    /// metrics — the vendored `serde` is a compile-only stub).
+    #[must_use]
+    pub fn metrics_json(&self, active_campaigns: usize, admit: usize) -> String {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let m = &self.metrics;
+        format!(
+            "{{\n  \"role\": \"coordinator\",\n  \"admission\": {{ \"active\": {active_campaigns}, \
+             \"limit\": {admit} }},\n  \"campaigns\": {{ \"done\": {}, \"rejected\": {} }},\n  \
+             \"cells\": {{ \"assigned\": {}, \"merged\": {}, \"duplicates_dropped\": {} }},\n  \
+             \"redispatch_rounds\": {},\n  \"assign_rejections\": {},\n  \
+             \"workers_lost\": {},\n  \"workers_revived\": {},\n  \"workers\": {}\n}}\n",
+            g(&m.campaigns),
+            g(&m.rejected),
+            g(&m.cells_assigned),
+            g(&m.cells_merged),
+            g(&m.duplicates_dropped),
+            g(&m.redispatch_rounds),
+            g(&m.assign_rejections),
+            self.fleet.lost.load(Ordering::Relaxed),
+            self.fleet.revived.load(Ordering::Relaxed),
+            self.fleet.status_json(),
+        )
+    }
+}

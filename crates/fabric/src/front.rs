@@ -1,0 +1,230 @@
+//! The coordinator's client-facing TCP front-end.
+//!
+//! Speaks the same versioned wire protocol as a worker daemon, so every
+//! existing `adas-serve client` verb works unchanged against a
+//! coordinator: `SubmitCampaign` is sharded across the fleet instead of
+//! executed locally, with the familiar `Accepted` → `CellResult`* →
+//! `JobDone` stream (in grid order, like any daemon). Admission control
+//! bounds concurrent campaigns: beyond the limit, submissions get a
+//! `Rejected` frame with a `retry_after_ms` hint, which
+//! [`adas_serve::Client::submit_with_backoff`] honours.
+
+use crate::coordinator::Coordinator;
+use crate::FabricError;
+use adas_serve::protocol::{recv_request, send_response};
+use adas_serve::{JobState, Request, Response};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Retry hint sent with admission-control rejections.
+const RETRY_AFTER_MS: u32 = 500;
+
+/// A bound coordinator front-end.
+pub struct CoordinatorServer {
+    listener: TcpListener,
+    shared: Arc<FrontShared>,
+}
+
+struct FrontShared {
+    coordinator: Coordinator,
+    admit: usize,
+    active: AtomicUsize,
+    job_ids: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl CoordinatorServer {
+    /// Binds the listen socket around a connected coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, coordinator: Coordinator, admit: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            shared: Arc::new(FrontShared {
+                coordinator,
+                admit: admit.max(1),
+                active: AtomicUsize::new(0),
+                job_ids: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept loop: one thread per client connection, until a `Shutdown`
+    /// request arrives. Stops the fleet monitor on exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures (accept errors are per-connection
+    /// and non-fatal).
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut handles = Vec::new();
+        while !self.shared.shutdown.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    handles.push(std::thread::spawn(move || {
+                        handle_connection(&shared, stream);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.coordinator.fleet.stop();
+        Ok(())
+    }
+}
+
+fn handle_connection(shared: &FrontShared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let request = match recv_request(&mut stream) {
+            Ok(r) => r,
+            Err(_) => return, // disconnect or malformed frame: drop peer
+        };
+        let keep_going = handle_request(shared, &mut stream, request);
+        if !matches!(keep_going, Ok(true)) {
+            return;
+        }
+    }
+}
+
+/// Returns `Ok(false)` to close the connection gracefully.
+fn handle_request(
+    shared: &FrontShared,
+    stream: &mut TcpStream,
+    request: Request,
+) -> std::io::Result<bool> {
+    match request {
+        Request::SubmitCampaign(spec) => {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                send_response(
+                    stream,
+                    &Response::Rejected {
+                        retry_after_ms: 0,
+                        reason: "coordinator shutting down".to_owned(),
+                    },
+                )?;
+                return Ok(true);
+            }
+            // Admission control: bound concurrent campaigns fleet-wide.
+            if shared.active.fetch_add(1, Ordering::AcqRel) >= shared.admit {
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+                shared
+                    .coordinator
+                    .metrics
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                send_response(
+                    stream,
+                    &Response::Rejected {
+                        retry_after_ms: RETRY_AFTER_MS,
+                        reason: "coordinator at admission limit".to_owned(),
+                    },
+                )?;
+                return Ok(true);
+            }
+            let result = submit_sharded(shared, stream, &spec);
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            result?;
+            Ok(true)
+        }
+        Request::Metrics => {
+            let json = shared
+                .coordinator
+                .metrics_json(shared.active.load(Ordering::Relaxed), shared.admit);
+            send_response(stream, &Response::MetricsJson(json))?;
+            Ok(true)
+        }
+        Request::Heartbeat { nonce } => {
+            send_response(
+                stream,
+                &Response::HeartbeatAck {
+                    nonce,
+                    queued: 0,
+                    running: u32::try_from(shared.active.load(Ordering::Relaxed))
+                        .unwrap_or(u32::MAX),
+                },
+            )?;
+            Ok(true)
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            send_response(stream, &Response::ShutdownAck)?;
+            Ok(false)
+        }
+        _ => {
+            send_response(
+                stream,
+                &Response::Error("unsupported by the fabric coordinator".to_owned()),
+            )?;
+            Ok(true)
+        }
+    }
+}
+
+fn submit_sharded(
+    shared: &FrontShared,
+    stream: &mut TcpStream,
+    spec: &adas_core::CampaignSpec,
+) -> std::io::Result<()> {
+    if !spec.validate() {
+        return send_response(stream, &Response::Error("invalid campaign spec".to_owned()));
+    }
+    let job_id = shared.job_ids.fetch_add(1, Ordering::Relaxed);
+    send_response(
+        stream,
+        &Response::Accepted {
+            job_id,
+            cells: u32::try_from(spec.cells.len()).unwrap_or(u32::MAX),
+        },
+    )?;
+    // The merge emits in strict grid order, so frames can stream straight
+    // through; any transport error surfaces after the campaign completes
+    // (the fleet keeps its work either way).
+    let mut stream_err = None;
+    let outcome = shared.coordinator.run_campaign(spec, |index, stats| {
+        if stream_err.is_none() {
+            if let Err(e) = send_response(
+                stream,
+                &Response::CellResult {
+                    job_id,
+                    cell_index: index,
+                    stats: stats.clone(),
+                },
+            ) {
+                stream_err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = stream_err {
+        return Err(e);
+    }
+    let state = match outcome {
+        Ok(_) => JobState::Done,
+        Err(FabricError::NoLiveWorkers | FabricError::Stalled { .. }) => JobState::Failed,
+        Err(_) => JobState::Failed,
+    };
+    send_response(stream, &Response::JobDone { job_id, state })
+}

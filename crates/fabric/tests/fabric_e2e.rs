@@ -1,0 +1,309 @@
+//! End-to-end fabric tests: a sharded campaign is bit-identical to the
+//! direct `run_single` path and to a single-daemon run; a worker killed
+//! mid-campaign (SIGKILL, no drain) loses no cells and produces no
+//! duplicates; and garbage byte streams never wedge the coordinator or a
+//! worker.
+
+use adas_attack::FaultType;
+use adas_core::job::CellSpec;
+use adas_core::{run_single, ArtifactCache, CampaignSpec, CellStats, InterventionConfig};
+use adas_fabric::{Coordinator, CoordinatorServer, FabricConfig};
+use adas_scenarios::RunRecord;
+use adas_serve::{Client, JobState, Server, ServerConfig};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::Duration;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adas-fabric-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Binds an in-process worker daemon on an ephemeral port.
+fn start_worker(name: &str) -> (String, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity: 8,
+        cache: ArtifactCache::disabled(),
+        trace_dir: tmp_dir(name),
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn stop_worker(addr: &str, handle: thread::JoinHandle<std::io::Result<()>>) {
+    Client::connect(addr).expect("connect").shutdown().expect("shutdown ack");
+    handle.join().expect("join").expect("clean exit");
+}
+
+fn fabric_config(workers: Vec<String>) -> FabricConfig {
+    FabricConfig {
+        workers,
+        heartbeat: Duration::from_millis(250),
+        deadline: Duration::from_secs(30),
+        vnodes: 64,
+        admit: 4,
+        epoch: 1,
+    }
+}
+
+/// S1 + S4, short runs — small but non-trivial, five distinct cells so a
+/// 4-worker ring almost surely splits the grid.
+fn sharded_spec() -> CampaignSpec {
+    CampaignSpec {
+        campaign_seed: 8_082_025,
+        repetitions: 2,
+        max_steps: 1200,
+        scenario_mask: 0b00_1001,
+        cells: vec![
+            CellSpec {
+                fault: Some(FaultType::RelativeDistance),
+                interventions: InterventionConfig::none(),
+            },
+            CellSpec {
+                fault: Some(FaultType::RelativeDistance),
+                interventions: InterventionConfig::driver_and_check(),
+            },
+            CellSpec {
+                fault: Some(FaultType::DesiredCurvature),
+                interventions: InterventionConfig::driver_only(),
+            },
+            CellSpec {
+                fault: Some(FaultType::Mixed),
+                interventions: InterventionConfig::driver_and_check(),
+            },
+            CellSpec {
+                fault: None,
+                interventions: InterventionConfig::none(),
+            },
+        ],
+    }
+}
+
+/// The reference result: the same grid evaluated in-process through
+/// `run_single`, serially, exactly as the CLI harnesses do.
+fn direct_cell_bytes(spec: &CampaignSpec) -> Vec<Vec<u8>> {
+    let ids = spec.run_ids();
+    spec.cells
+        .iter()
+        .map(|cell| {
+            let config = spec.config_for(cell);
+            let records: Vec<RunRecord> = ids
+                .iter()
+                .map(|id| run_single(*id, cell.fault, &config, None, spec.campaign_seed))
+                .collect();
+            CellStats::from_records(&records).to_bytes()
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_campaign_bit_identical_to_direct_and_single_daemon() {
+    let spec = sharded_spec();
+    let reference = direct_cell_bytes(&spec);
+
+    // Single daemon over the wire.
+    let (solo_addr, solo) = start_worker("solo");
+    let mut client = Client::connect(&solo_addr).expect("connect solo");
+    let result = client
+        .run_campaign(&spec, |_, _| {})
+        .expect("protocol ok")
+        .expect("accepted");
+    assert_eq!(result.state, JobState::Done);
+    let solo_bytes: Vec<Vec<u8>> =
+        result.cells.iter().map(|(_, s)| s.to_bytes()).collect();
+    stop_worker(&solo_addr, solo);
+    assert_eq!(
+        solo_bytes, reference,
+        "single-daemon run must match the direct path"
+    );
+
+    // Four-worker fabric, driven through the Coordinator API.
+    let fleet: Vec<(String, _)> = (0..4).map(|i| start_worker(&format!("w{i}"))).collect();
+    let addrs: Vec<String> = fleet.iter().map(|(a, _)| a.clone()).collect();
+    let config = fabric_config(addrs.clone());
+    let coordinator = Coordinator::connect(&config).expect("connect fleet");
+
+    let emitted = std::sync::Mutex::new(Vec::new());
+    let cells = coordinator
+        .run_campaign(&spec, |index, _| emitted.lock().unwrap().push(index))
+        .expect("sharded campaign");
+    let fabric_bytes: Vec<Vec<u8>> = cells.iter().map(CellStats::to_bytes).collect();
+    assert_eq!(
+        fabric_bytes, reference,
+        "sharded run must be bit-identical to the direct path"
+    );
+    // Strict grid-order emission, never arrival order.
+    let order: Vec<u32> = (0..spec.cells.len() as u32).collect();
+    assert_eq!(*emitted.lock().unwrap(), order);
+    // The grid really was split across workers.
+    let live = coordinator.fleet.live_slots();
+    assert_eq!(live.len(), 4, "all workers should be live");
+
+    // Warm re-run: every cell now memo-hits on the worker that owns it.
+    let warm = coordinator.run_campaign(&spec, |_, _| {}).expect("warm run");
+    let warm_bytes: Vec<Vec<u8>> = warm.iter().map(CellStats::to_bytes).collect();
+    assert_eq!(warm_bytes, reference, "warm sharded run must not drift");
+    coordinator.fleet.stop();
+
+    // Same campaign through the TCP front-end: the stock client sees an
+    // ordinary daemon that happens to shard.
+    let front_coordinator =
+        Coordinator::connect(&fabric_config(addrs.clone())).expect("connect fleet for front");
+    let front = CoordinatorServer::bind("127.0.0.1:0", front_coordinator, 4).expect("bind front");
+    let front_addr = front.local_addr().expect("front addr").to_string();
+    let front_thread = thread::spawn(move || front.run());
+    let mut client = Client::connect(&front_addr).expect("connect front");
+    let result = client
+        .run_campaign(&spec, |_, _| {})
+        .expect("protocol ok")
+        .expect("accepted");
+    assert_eq!(result.state, JobState::Done);
+    for (i, (index, _)) in result.cells.iter().enumerate() {
+        assert_eq!(*index as usize, i, "front must stream in grid order");
+    }
+    let front_bytes: Vec<Vec<u8>> =
+        result.cells.iter().map(|(_, s)| s.to_bytes()).collect();
+    assert_eq!(front_bytes, reference, "front-end run must not drift");
+
+    let metrics = client.metrics().expect("front metrics");
+    assert!(metrics.contains("\"role\": \"coordinator\""), "{metrics}");
+    client.shutdown().expect("front shutdown");
+    front_thread.join().expect("join").expect("front exits");
+
+    for (addr, handle) in fleet {
+        stop_worker(&addr, handle);
+    }
+}
+
+#[test]
+fn killed_worker_cells_are_redispatched_without_duplicates() {
+    let exe = env!("CARGO_BIN_EXE_adas-serve");
+
+    // Two worker *processes*, so one can be SIGKILLed mid-campaign.
+    let spawn = |name: &str| {
+        let mut child = std::process::Command::new(exe)
+            .args(["worker", "--addr", "127.0.0.1:0", "--queue", "8"])
+            .env("ADAS_CACHE", "off")
+            .env("ADAS_TRACE_DIR", tmp_dir(name))
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn worker process");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut lines = std::io::BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("worker exited before listening")
+                .expect("read stderr");
+            if let Some(rest) = line.strip_prefix("[serve] listening on ") {
+                break rest.split_whitespace().next().expect("addr token").to_string();
+            }
+        };
+        // Keep draining stderr so the child never blocks on a full pipe.
+        thread::spawn(move || for _ in lines {});
+        (child, addr)
+    };
+    let (mut victim, victim_addr) = spawn("victim");
+    let (mut survivor, survivor_addr) = spawn("survivor");
+
+    let spec = sharded_spec();
+    let reference = direct_cell_bytes(&spec);
+
+    let mut config = fabric_config(vec![victim_addr.clone(), survivor_addr.clone()]);
+    config.heartbeat = Duration::from_millis(150);
+    let coordinator = Coordinator::connect(&config).expect("connect fleet");
+    assert_eq!(coordinator.fleet.live_slots().len(), 2);
+
+    // SIGKILL the victim as soon as the first merged cell arrives: its
+    // remaining cells must re-dispatch to the survivor.
+    let merged = AtomicUsize::new(0);
+    let emitted = std::sync::Mutex::new(Vec::new());
+    let cells = coordinator
+        .run_campaign(&spec, |index, _| {
+            if merged.fetch_add(1, Ordering::Relaxed) == 0 {
+                victim.kill().expect("kill victim worker");
+            }
+            emitted.lock().unwrap().push(index);
+        })
+        .expect("campaign must survive the kill");
+
+    let fabric_bytes: Vec<Vec<u8>> = cells.iter().map(CellStats::to_bytes).collect();
+    assert_eq!(
+        fabric_bytes, reference,
+        "re-dispatched cells must stay bit-identical to the direct path"
+    );
+    let order: Vec<u32> = (0..spec.cells.len() as u32).collect();
+    assert_eq!(
+        *emitted.lock().unwrap(),
+        order,
+        "merge order is grid order — no duplicates, no reordering"
+    );
+    assert!(
+        !coordinator.fleet.workers[0].is_alive(),
+        "the killed worker must be marked dead"
+    );
+    coordinator.fleet.stop();
+
+    let _ = victim.wait();
+    if let Ok(mut c) = Client::connect(&survivor_addr) {
+        let _ = c.shutdown();
+    }
+    let _ = survivor.wait();
+}
+
+#[test]
+fn garbage_frames_never_wedge_worker_or_coordinator() {
+    use std::io::Write;
+
+    let (worker_addr, worker) = start_worker("garbage-worker");
+    let coordinator =
+        Coordinator::connect(&fabric_config(vec![worker_addr.clone()])).expect("connect");
+    let front = CoordinatorServer::bind("127.0.0.1:0", coordinator, 2).expect("bind front");
+    let front_addr = front.local_addr().expect("front addr").to_string();
+    let front_thread = thread::spawn(move || front.run());
+
+    // Hostile byte streams against both tiers: bad magic, truncated
+    // header, a declared-but-absent payload, and random trash.
+    for target in [&worker_addr, &front_addr] {
+        for garbage in [
+            b"XXXXGARBAGE-GARBAGE-GARBAGE".as_slice(),
+            b"AS".as_slice(),
+            &[b'A', b'S', 2, 0x0A, 0xFF, 0xFF, 0xFF, 0x7F],
+            &[0u8; 64],
+        ] {
+            let mut stream = std::net::TcpStream::connect(target).expect("connect raw");
+            stream.write_all(garbage).expect("write garbage");
+            drop(stream);
+        }
+    }
+
+    // Both survive: a real campaign still shards and completes.
+    let spec = CampaignSpec {
+        campaign_seed: 42,
+        repetitions: 1,
+        max_steps: 600,
+        scenario_mask: 0b1,
+        cells: vec![CellSpec {
+            fault: Some(FaultType::RelativeDistance),
+            interventions: InterventionConfig::driver_and_check(),
+        }],
+    };
+    let mut client = Client::connect(&front_addr).expect("connect front");
+    let result = client
+        .run_campaign(&spec, |_, _| {})
+        .expect("protocol ok")
+        .expect("accepted");
+    assert_eq!(result.state, JobState::Done);
+    assert_eq!(result.cells.len(), 1);
+
+    client.shutdown().expect("front shutdown");
+    front_thread.join().expect("join").expect("front exits");
+    stop_worker(&worker_addr, worker);
+}

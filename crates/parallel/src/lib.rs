@@ -26,6 +26,9 @@
 #![warn(missing_docs)]
 
 pub mod env;
+pub mod gate;
+
+pub use gate::{FairGate, FairGuard};
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 

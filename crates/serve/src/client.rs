@@ -43,6 +43,19 @@ pub struct CampaignResult {
     pub state: JobState,
 }
 
+/// A worker's capability handshake, from [`Response::WorkerHello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerHello {
+    /// The worker's job-queue capacity.
+    pub queue_capacity: u32,
+    /// Executor thread count on the worker.
+    pub threads: u32,
+    /// Batched-execution lane width on the worker.
+    pub batch_width: u32,
+    /// Cells resident in the worker's in-memory memo at handshake time.
+    pub memo_cells: u64,
+}
+
 /// Fields of a [`Response::StatusReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobStatus {
@@ -164,6 +177,146 @@ impl Client {
                     state,
                 }))
             }
+        }
+    }
+
+    /// Submits a campaign, retrying queue-full rejections with the capped
+    /// exponential, deterministically-jittered schedule from
+    /// [`crate::backoff`] (honouring each rejection's `retry_after_ms`
+    /// hint). Gives up after `max_attempts` submissions, returning the
+    /// last rejection.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn submit_with_backoff(
+        &mut self,
+        spec: &CampaignSpec,
+        max_attempts: u32,
+        seed: u64,
+    ) -> Result<Submission, ProtocolError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(spec)? {
+                accepted @ Submission::Accepted { .. } => return Ok(accepted),
+                rejected @ Submission::Rejected { retry_after_ms, .. } => {
+                    // `retry_after_ms == 0` means "draining, don't retry".
+                    if retry_after_ms == 0 || attempt + 1 >= max_attempts {
+                        return Ok(rejected);
+                    }
+                    std::thread::sleep(Duration::from_millis(crate::backoff::delay_ms(
+                        retry_after_ms,
+                        attempt,
+                        seed,
+                    )));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Fabric handshake: registers this connection's peer as a fleet
+    /// coordinator and returns the worker's capabilities.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn register_worker(&mut self, fleet_epoch: u64) -> Result<WorkerHello, ProtocolError> {
+        match self.request(&Request::RegisterWorker { fleet_epoch })? {
+            Response::WorkerHello {
+                queue_capacity,
+                threads,
+                batch_width,
+                memo_cells,
+            } => Ok(WorkerHello {
+                queue_capacity,
+                threads,
+                batch_width,
+                memo_cells,
+            }),
+            Response::Error(e) => Err(ProtocolError::Io(format!("server error: {e}"))),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fabric liveness probe; returns the worker's `(queued, running)`
+    /// load after verifying the echoed nonce.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures, or a nonce mismatch.
+    pub fn heartbeat(&mut self, nonce: u64) -> Result<(u32, u32), ProtocolError> {
+        match self.request(&Request::Heartbeat { nonce })? {
+            Response::HeartbeatAck {
+                nonce: echoed,
+                queued,
+                running,
+            } => {
+                if echoed != nonce {
+                    return Err(ProtocolError::Io(format!(
+                        "heartbeat nonce mismatch: sent {nonce}, got {echoed}"
+                    )));
+                }
+                Ok((queued, running))
+            }
+            Response::Error(e) => Err(ProtocolError::Io(format!("server error: {e}"))),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fabric dispatch: assigns a sharded cell slice to the worker. On
+    /// acceptance, follow with [`Self::stream_results`] — streamed
+    /// `cell_index` values are the *global* `indices` passed here.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn assign_cells(
+        &mut self,
+        assignment_id: u64,
+        indices: &[u32],
+        spec: &CampaignSpec,
+    ) -> Result<Submission, ProtocolError> {
+        match self.request(&Request::AssignCells {
+            assignment_id,
+            indices: indices.to_vec(),
+            spec: spec.clone(),
+        })? {
+            Response::Accepted { job_id, cells } => Ok(Submission::Accepted { job_id, cells }),
+            Response::Rejected {
+                retry_after_ms,
+                reason,
+            } => Ok(Submission::Rejected {
+                retry_after_ms,
+                reason,
+            }),
+            Response::Error(e) => Err(ProtocolError::Io(format!("server error: {e}"))),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fabric drain: asks the worker to leave the fleet gracefully (drain
+    /// accepted work, then exit).
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn drain_worker(&mut self) -> Result<(), ProtocolError> {
+        match self.request(&Request::WorkerDrain)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
         }
     }
 

@@ -24,7 +24,9 @@
 //! * [`server`] — accept loop, per-connection handlers, the executor, and
 //!   graceful drain on `Shutdown`/SIGTERM;
 //! * [`client`] — blocking client used by the `adas-serve client`
-//!   subcommands and the integration tests;
+//!   subcommands, the fabric coordinator, and the integration tests;
+//! * [`backoff`] — capped, deterministically-jittered retry schedule for
+//!   queue-full rejections;
 //! * [`metrics`] — counters + latency histograms, snapshotted as JSON;
 //! * [`signal`] — SIGTERM/SIGINT to an atomic flag, no external crates.
 //!
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)] // `signal` opts back in, narrowly, for signal(2).
 
+pub mod backoff;
 pub mod client;
 pub mod metrics;
 pub mod protocol;
@@ -43,6 +46,6 @@ pub mod queue;
 pub mod server;
 pub mod signal;
 
-pub use client::{CampaignResult, Client, JobStatus, Submission};
+pub use client::{CampaignResult, Client, JobStatus, Submission, WorkerHello};
 pub use protocol::{JobState, ProtocolError, ReplayOutcome, Request, Response};
 pub use server::{Server, ServerConfig, DEFAULT_ADDR, DEFAULT_QUEUE};

@@ -43,7 +43,8 @@ impl Histogram {
     }
 
     /// Approximate quantile (upper bucket bound containing it), in ms.
-    fn quantile_ms(&self, q: f64) -> u64 {
+    #[must_use]
+    pub fn quantile_ms(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
@@ -117,8 +118,11 @@ pub struct ServeMetrics {
     pub cells_memo_hits: AtomicU64,
     /// Cells answered from the on-disk artifact cache.
     pub cells_disk_hits: AtomicU64,
-    /// Cells computed by running the simulator.
+    /// Cells computed by running the simulator (disk tier enabled: the
+    /// result was written back).
     pub cells_computed: AtomicU64,
+    /// Cells computed with the disk tier disabled (cache bypass).
+    pub cells_bypass: AtomicU64,
     /// Individual simulation runs executed (cache hits excluded).
     pub runs_executed: AtomicU64,
     /// Single-run (`SubmitCell`) requests served.
@@ -129,6 +133,14 @@ pub struct ServeMetrics {
     pub connections: AtomicU64,
     /// Frames rejected as malformed / unknown / oversized.
     pub protocol_errors: AtomicU64,
+    /// Fabric: `RegisterWorker` handshakes served.
+    pub workers_registered: AtomicU64,
+    /// Fabric: heartbeat probes answered.
+    pub heartbeats: AtomicU64,
+    /// Fabric: `AssignCells` slices accepted for streaming.
+    pub assignments: AtomicU64,
+    /// Fabric: graceful `WorkerDrain` requests honoured.
+    pub worker_drains: AtomicU64,
     /// Queue-entry to execution-start latency.
     pub queue_wait: Histogram,
     /// Per-cell wall time (hit or compute).
@@ -154,11 +166,16 @@ impl ServeMetrics {
             cells_memo_hits: AtomicU64::new(0),
             cells_disk_hits: AtomicU64::new(0),
             cells_computed: AtomicU64::new(0),
+            cells_bypass: AtomicU64::new(0),
             runs_executed: AtomicU64::new(0),
             single_runs: AtomicU64::new(0),
             replays: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            workers_registered: AtomicU64::new(0),
+            heartbeats: AtomicU64::new(0),
+            assignments: AtomicU64::new(0),
+            worker_drains: AtomicU64::new(0),
             queue_wait: Histogram::default(),
             cell_wall: Histogram::default(),
             model_train: Histogram::default(),
@@ -171,11 +188,23 @@ impl ServeMetrics {
         *self.gauges.lock().expect("gauges lock") = (queued, running);
     }
 
+    /// The instantaneous `(queued, running)` gauges.
+    #[must_use]
+    pub fn gauges(&self) -> (usize, usize) {
+        *self.gauges.lock().expect("gauges lock")
+    }
+
     /// Full JSON snapshot (schema documented in the README). `cache` is the
     /// artifact cache's own hit/miss accounting, folded into the same
-    /// document so one scrape tells the whole story.
+    /// document so one scrape tells the whole story; `queue_depth` /
+    /// `queue_capacity` are the live job-queue occupancy.
     #[must_use]
-    pub fn snapshot_json(&self, cache: &adas_core::ArtifactCache) -> String {
+    pub fn snapshot_json(
+        &self,
+        cache: &adas_core::ArtifactCache,
+        queue_depth: usize,
+        queue_capacity: usize,
+    ) -> String {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let uptime = self.started.elapsed().as_secs_f64();
         let cells_done = g(&self.cells_done);
@@ -195,11 +224,15 @@ impl ServeMetrics {
         format!(
             "{{\n  \"uptime_s\": {uptime:.3},\n  \"jobs\": {{ \"submitted\": {}, \"rejected\": {}, \
              \"done\": {}, \"cancelled\": {}, \"failed\": {}, \"queued\": {queued}, \
+             \"running\": {running} }},\n  \
+             \"queue\": {{ \"depth\": {queue_depth}, \"capacity\": {queue_capacity}, \
              \"running\": {running} }},\n  \"cells\": {{ \"done\": {cells_done}, \
-             \"memo_hits\": {}, \"disk_hits\": {}, \"computed\": {}, \
+             \"memo_hits\": {}, \"disk_hits\": {}, \"computed\": {}, \"bypass\": {}, \
              \"hit_rate\": {hit_rate:.4}, \"per_sec\": {cells_per_sec:.3} }},\n  \
              \"runs_executed\": {},\n  \"single_runs\": {},\n  \"replays\": {},\n  \
              \"connections\": {},\n  \"protocol_errors\": {},\n  \
+             \"fabric\": {{ \"workers_registered\": {}, \"heartbeats\": {}, \
+             \"assignments\": {}, \"worker_drains\": {} }},\n  \
              \"artifact_cache\": {{ \"enabled\": {}, \"hits\": {}, \"misses\": {}, \
              \"writes\": {}, \"bypasses\": {} }},\n  \"latency\": {{\n    \"queue_wait_ms\": {},\n    \
              \"cell_wall_ms\": {},\n    \"model_train_ms\": {}\n  }}\n}}\n",
@@ -211,11 +244,16 @@ impl ServeMetrics {
             g(&self.cells_memo_hits),
             g(&self.cells_disk_hits),
             g(&self.cells_computed),
+            g(&self.cells_bypass),
             g(&self.runs_executed),
             g(&self.single_runs),
             g(&self.replays),
             g(&self.connections),
             g(&self.protocol_errors),
+            g(&self.workers_registered),
+            g(&self.heartbeats),
+            g(&self.assignments),
+            g(&self.worker_drains),
             cache.is_enabled(),
             cs.hits,
             cs.misses,
@@ -259,7 +297,7 @@ mod tests {
         m.cells_done.fetch_add(5, Ordering::Relaxed);
         m.cells_memo_hits.fetch_add(5, Ordering::Relaxed);
         m.set_gauges(1, 1);
-        let json = m.snapshot_json(&adas_core::ArtifactCache::disabled());
+        let json = m.snapshot_json(&adas_core::ArtifactCache::disabled(), 3, 8);
         // Structural sanity: balanced braces, expected keys present.
         assert_eq!(
             json.matches('{').count(),
@@ -270,7 +308,10 @@ mod tests {
             "\"uptime_s\"",
             "\"jobs\"",
             "\"cells\"",
+            "\"bypass\": 0",
             "\"hit_rate\": 1.0000",
+            "\"queue\": { \"depth\": 3, \"capacity\": 8",
+            "\"fabric\"",
             "\"queue_wait_ms\"",
             "\"protocol_errors\"",
         ] {

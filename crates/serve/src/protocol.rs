@@ -9,7 +9,7 @@
 //! offset  size  field
 //! 0       1     magic 'A' (0x41)
 //! 1       1     magic 'S' (0x53)
-//! 2       1     protocol version (currently 1)
+//! 2       1     protocol version (currently 2)
 //! 3       1     message kind (see [`Request`] / [`Response`])
 //! 4       4     payload length, u32 little-endian (≤ MAX_PAYLOAD)
 //! 8       n     payload (kind-specific layout, little-endian)
@@ -22,10 +22,21 @@
 //! prefix costs the server nothing.
 //!
 //! One connection carries a sequence of request → response exchanges. The
-//! streaming exchanges (`SubmitCampaign`) produce multiple response frames
-//! ([`Response::Accepted`], then one [`Response::CellResult`] per cell as
-//! it completes, then [`Response::JobDone`]); everything else is strictly
-//! one frame each way.
+//! streaming exchanges (`SubmitCampaign`, `AssignCells`) produce multiple
+//! response frames ([`Response::Accepted`], then one
+//! [`Response::CellResult`] per cell as it completes, then
+//! [`Response::JobDone`]); everything else is strictly one frame each way.
+//!
+//! # Version 2: fabric frames
+//!
+//! Version 2 adds the coordinator ↔ worker vocabulary used by
+//! `adas-fabric`: [`Request::RegisterWorker`] / [`Response::WorkerHello`]
+//! (capability handshake), [`Request::Heartbeat`] /
+//! [`Response::HeartbeatAck`] (liveness + load), [`Request::AssignCells`]
+//! (a sharded slice of a campaign grid, answered with the same streaming
+//! `Accepted` / `CellResult` / `JobDone` frames but carrying the
+//! coordinator's *global* grid indices), and [`Request::WorkerDrain`]
+//! (graceful fleet removal, answered with [`Response::ShutdownAck`]).
 
 use adas_core::job::{decode_run_id, encode_run_id, ByteReader, ByteWriter};
 use adas_core::{CampaignSpec, CellSpec, CellStats, RunId};
@@ -34,8 +45,8 @@ use std::io::{Read, Write};
 /// Protocol magic: every frame starts `b"AS"`.
 pub const MAGIC: [u8; 2] = *b"AS";
 
-/// Current protocol version byte.
-pub const VERSION: u8 = 1;
+/// Current protocol version byte (2 added the fabric frames).
+pub const VERSION: u8 = 2;
 
 /// Upper bound on a frame payload (64 MiB — comfortably above the largest
 /// legitimate message, a full-run flight-recorder trace).
@@ -221,6 +232,37 @@ pub enum Request {
     Metrics,
     /// Graceful shutdown: stop accepting work, drain accepted jobs, exit.
     Shutdown,
+    /// Coordinator → worker: capability handshake opening a fleet
+    /// membership. Answered with [`Response::WorkerHello`].
+    RegisterWorker {
+        /// Coordinator's fleet epoch (bumped per coordinator start), so a
+        /// worker can tell reconnects from a restarted coordinator.
+        fleet_epoch: u64,
+    },
+    /// Coordinator → worker: liveness probe. Answered with
+    /// [`Response::HeartbeatAck`] echoing the nonce.
+    Heartbeat {
+        /// Echo token correlating the ack with this probe.
+        nonce: u64,
+    },
+    /// Coordinator → worker: execute a sharded slice of a campaign grid.
+    ///
+    /// `spec.cells` holds only the assigned cells; `indices[i]` is the
+    /// coordinator-side *global* grid index of `spec.cells[i]`. The worker
+    /// streams `Accepted` / `CellResult` / `JobDone` with
+    /// `job_id = assignment_id` and `cell_index` = the global index, so
+    /// the coordinator can merge slices deterministically.
+    AssignCells {
+        /// Coordinator-assigned id echoed on every streamed frame.
+        assignment_id: u64,
+        /// Global grid index of each cell in `spec.cells` (same length).
+        indices: Vec<u32>,
+        /// The campaign parameters plus the assigned cell subset.
+        spec: CampaignSpec,
+    },
+    /// Coordinator → worker: leave the fleet gracefully — stop accepting
+    /// work, drain, exit. Answered with [`Response::ShutdownAck`].
+    WorkerDrain,
 }
 
 /// Server → client messages.
@@ -288,6 +330,28 @@ pub enum Response {
     Error(String),
     /// Shutdown acknowledged; the server drains and exits.
     ShutdownAck,
+    /// Worker → coordinator: capability handshake reply to
+    /// [`Request::RegisterWorker`].
+    WorkerHello {
+        /// The worker's job-queue capacity (admission sizing hint).
+        queue_capacity: u32,
+        /// Executor thread count the worker will run cells with.
+        threads: u32,
+        /// Batched-execution lane width (`ADAS_BATCH`).
+        batch_width: u32,
+        /// Cells currently resident in the worker's in-memory memo.
+        memo_cells: u64,
+    },
+    /// Worker → coordinator: liveness + instantaneous load, replying to
+    /// [`Request::Heartbeat`].
+    HeartbeatAck {
+        /// The probe's nonce, echoed.
+        nonce: u64,
+        /// Jobs waiting in the worker's queue.
+        queued: u32,
+        /// Jobs currently executing.
+        running: u32,
+    },
 }
 
 const K_SUBMIT_CAMPAIGN: u8 = 0x01;
@@ -297,6 +361,10 @@ const K_STATUS: u8 = 0x04;
 const K_CANCEL: u8 = 0x05;
 const K_METRICS: u8 = 0x06;
 const K_SHUTDOWN: u8 = 0x07;
+const K_REGISTER_WORKER: u8 = 0x08;
+const K_HEARTBEAT: u8 = 0x09;
+const K_ASSIGN_CELLS: u8 = 0x0A;
+const K_WORKER_DRAIN: u8 = 0x0B;
 
 const K_ACCEPTED: u8 = 0x81;
 const K_REJECTED: u8 = 0x82;
@@ -308,6 +376,8 @@ const K_STATUS_REPORT: u8 = 0x87;
 const K_METRICS_JSON: u8 = 0x88;
 const K_ERROR: u8 = 0x89;
 const K_SHUTDOWN_ACK: u8 = 0x8A;
+const K_WORKER_HELLO: u8 = 0x8B;
+const K_HEARTBEAT_ACK: u8 = 0x8C;
 
 fn utf8(bytes: &[u8]) -> Result<String, ProtocolError> {
     String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Malformed("non-UTF-8 string"))
@@ -325,6 +395,10 @@ impl Request {
             Request::Cancel { .. } => K_CANCEL,
             Request::Metrics => K_METRICS,
             Request::Shutdown => K_SHUTDOWN,
+            Request::RegisterWorker { .. } => K_REGISTER_WORKER,
+            Request::Heartbeat { .. } => K_HEARTBEAT,
+            Request::AssignCells { .. } => K_ASSIGN_CELLS,
+            Request::WorkerDrain => K_WORKER_DRAIN,
         }
     }
 
@@ -349,7 +423,21 @@ impl Request {
             }
             Request::Replay { trace_hex } => w.blob(trace_hex.as_bytes()),
             Request::Status { job_id } | Request::Cancel { job_id } => w.u64(*job_id),
-            Request::Metrics | Request::Shutdown => {}
+            Request::Metrics | Request::Shutdown | Request::WorkerDrain => {}
+            Request::RegisterWorker { fleet_epoch } => w.u64(*fleet_epoch),
+            Request::Heartbeat { nonce } => w.u64(*nonce),
+            Request::AssignCells {
+                assignment_id,
+                indices,
+                spec,
+            } => {
+                w.u64(*assignment_id);
+                w.u32(indices.len() as u32);
+                for i in indices {
+                    w.u32(*i);
+                }
+                w.blob(&spec.to_bytes());
+            }
         }
         w.into_bytes()
     }
@@ -406,6 +494,36 @@ impl Request {
             },
             K_METRICS => Request::Metrics,
             K_SHUTDOWN => Request::Shutdown,
+            K_REGISTER_WORKER => Request::RegisterWorker {
+                fleet_epoch: r.u64().ok_or(ProtocolError::Malformed("fleet epoch"))?,
+            },
+            K_HEARTBEAT => Request::Heartbeat {
+                nonce: r.u64().ok_or(ProtocolError::Malformed("nonce"))?,
+            },
+            K_ASSIGN_CELLS => {
+                let assignment_id =
+                    r.u64().ok_or(ProtocolError::Malformed("assignment id"))?;
+                let count = r.u32().ok_or(ProtocolError::Malformed("index count"))? as usize;
+                if count == 0 || count > adas_core::job::MAX_CELLS {
+                    return Err(ProtocolError::Malformed("index count out of range"));
+                }
+                let mut indices = Vec::with_capacity(count);
+                for _ in 0..count {
+                    indices.push(r.u32().ok_or(ProtocolError::Malformed("cell index"))?);
+                }
+                let spec_bytes = r.blob().ok_or(ProtocolError::Malformed("assign spec"))?;
+                let spec = CampaignSpec::from_bytes(spec_bytes)
+                    .ok_or(ProtocolError::Malformed("assign spec codec"))?;
+                if spec.cells.len() != count {
+                    return Err(ProtocolError::Malformed("index/cell count mismatch"));
+                }
+                Request::AssignCells {
+                    assignment_id,
+                    indices,
+                    spec,
+                }
+            }
+            K_WORKER_DRAIN => Request::WorkerDrain,
             other => return Err(ProtocolError::UnknownKind(other)),
         };
         // SubmitCampaign consumed the payload wholesale (its codec enforces
@@ -434,6 +552,8 @@ impl Response {
             Response::MetricsJson(_) => K_METRICS_JSON,
             Response::Error(_) => K_ERROR,
             Response::ShutdownAck => K_SHUTDOWN_ACK,
+            Response::WorkerHello { .. } => K_WORKER_HELLO,
+            Response::HeartbeatAck { .. } => K_HEARTBEAT_ACK,
         }
     }
 
@@ -493,6 +613,26 @@ impl Response {
             Response::MetricsJson(json) => w.blob(json.as_bytes()),
             Response::Error(message) => w.blob(message.as_bytes()),
             Response::ShutdownAck => {}
+            Response::WorkerHello {
+                queue_capacity,
+                threads,
+                batch_width,
+                memo_cells,
+            } => {
+                w.u32(*queue_capacity);
+                w.u32(*threads);
+                w.u32(*batch_width);
+                w.u64(*memo_cells);
+            }
+            Response::HeartbeatAck {
+                nonce,
+                queued,
+                running,
+            } => {
+                w.u64(*nonce);
+                w.u32(*queued);
+                w.u32(*running);
+            }
         }
         w.into_bytes()
     }
@@ -573,6 +713,17 @@ impl Response {
                 r.blob().ok_or(ProtocolError::Malformed("message"))?,
             )?),
             K_SHUTDOWN_ACK => Response::ShutdownAck,
+            K_WORKER_HELLO => Response::WorkerHello {
+                queue_capacity: r.u32().ok_or(ProtocolError::Malformed("queue capacity"))?,
+                threads: r.u32().ok_or(ProtocolError::Malformed("threads"))?,
+                batch_width: r.u32().ok_or(ProtocolError::Malformed("batch width"))?,
+                memo_cells: r.u64().ok_or(ProtocolError::Malformed("memo cells"))?,
+            },
+            K_HEARTBEAT_ACK => Response::HeartbeatAck {
+                nonce: r.u64().ok_or(ProtocolError::Malformed("nonce"))?,
+                queued: r.u32().ok_or(ProtocolError::Malformed("queued"))?,
+                running: r.u32().ok_or(ProtocolError::Malformed("running"))?,
+            },
             other => return Err(ProtocolError::UnknownKind(other)),
         };
         if !r.exhausted() {

@@ -38,6 +38,13 @@ pub enum JobEvent {
 pub struct Job {
     /// Server-assigned id.
     pub id: u64,
+    /// Id used on streamed frames. Equal to `id` for local submissions;
+    /// for fabric assignments it is the coordinator's `assignment_id`.
+    pub wire_id: u64,
+    /// For fabric assignments: `index_map[local]` is the coordinator-side
+    /// global grid index streamed on the wire. `None` streams local
+    /// indices (plain submissions).
+    pub index_map: Option<Vec<u32>>,
     /// The submitted campaign.
     pub spec: CampaignSpec,
     /// Cancellation flag + live run counters (shared with `map_ctl`).
@@ -59,12 +66,42 @@ impl Job {
     pub fn new(id: u64, spec: CampaignSpec, events: Sender<JobEvent>) -> Self {
         Self {
             id,
+            wire_id: id,
+            index_map: None,
             spec,
             ctl: MapControl::new(),
             state: Mutex::new(JobState::Queued),
             cells_done: std::sync::atomic::AtomicU32::new(0),
             events,
             enqueued: Instant::now(),
+        }
+    }
+
+    /// A fabric assignment: streams under the coordinator's
+    /// `assignment_id` and translates each local cell index through
+    /// `index_map` (same length as `spec.cells`) so the wire carries
+    /// global grid indices.
+    #[must_use]
+    pub fn assignment(
+        id: u64,
+        assignment_id: u64,
+        index_map: Vec<u32>,
+        spec: CampaignSpec,
+        events: Sender<JobEvent>,
+    ) -> Self {
+        let mut job = Self::new(id, spec, events);
+        job.wire_id = assignment_id;
+        job.index_map = Some(index_map);
+        job
+    }
+
+    /// The index streamed on the wire for local cell `local` (the global
+    /// grid index for assignments, the local one otherwise).
+    #[must_use]
+    pub fn wire_index(&self, local: u32) -> u32 {
+        match &self.index_map {
+            Some(map) => map.get(local as usize).copied().unwrap_or(local),
+            None => local,
         }
     }
 

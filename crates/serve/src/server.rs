@@ -298,8 +298,9 @@ fn execute_job(shared: &Shared, job: &Arc<Job>) {
         shared.metrics.cell_wall.record(t0.elapsed());
         shared.metrics.cells_done.fetch_add(1, Ordering::Relaxed);
         job.bump_cells_done();
+        // Fabric assignments stream the coordinator's global grid index.
         let sent = job.events.send(JobEvent::Cell {
-            index: index as u32,
+            index: job.wire_index(index as u32),
             stats,
         });
         if sent.is_err() {
@@ -368,7 +369,13 @@ fn compute_cell(
         .metrics
         .runs_executed
         .fetch_add(records.len() as u64, Ordering::Relaxed);
-    shared.metrics.cells_computed.fetch_add(1, Ordering::Relaxed);
+    // Per-tier accounting: `computed` is a genuine miss-then-fill of the
+    // disk tier; with the disk cache disabled the compute bypassed it.
+    if shared.cache.is_enabled() {
+        shared.metrics.cells_computed.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.metrics.cells_bypass.fetch_add(1, Ordering::Relaxed);
+    }
     let stats = CellStats::from_records(&records);
     shared.cache.store("cell", key, &stats.to_bytes());
     shared
@@ -457,11 +464,59 @@ fn handle_request(
             Ok(true)
         }
         Request::Metrics => {
-            let json = shared.metrics.snapshot_json(&shared.cache);
+            let json = shared.metrics.snapshot_json(
+                &shared.cache,
+                shared.queue.len(),
+                shared.queue.capacity(),
+            );
             send_response(stream, &Response::MetricsJson(json))?;
             Ok(true)
         }
         Request::Shutdown => {
+            send_response(stream, &Response::ShutdownAck)?;
+            shared.begin_shutdown();
+            Ok(false)
+        }
+        Request::RegisterWorker { fleet_epoch: _ } => {
+            shared
+                .metrics
+                .workers_registered
+                .fetch_add(1, Ordering::Relaxed);
+            let memo_cells = shared.memo.lock().expect("memo lock").len() as u64;
+            send_response(
+                stream,
+                &Response::WorkerHello {
+                    queue_capacity: shared.queue.capacity() as u32,
+                    threads: adas_parallel::thread_count(usize::MAX) as u32,
+                    batch_width: adas_parallel::batch_width() as u32,
+                    memo_cells,
+                },
+            )?;
+            Ok(true)
+        }
+        Request::Heartbeat { nonce } => {
+            shared.metrics.heartbeats.fetch_add(1, Ordering::Relaxed);
+            let (_, running) = shared.metrics.gauges();
+            send_response(
+                stream,
+                &Response::HeartbeatAck {
+                    nonce,
+                    queued: shared.queue.len() as u32,
+                    running: running as u32,
+                },
+            )?;
+            Ok(true)
+        }
+        Request::AssignCells {
+            assignment_id,
+            indices,
+            spec,
+        } => {
+            shared.metrics.assignments.fetch_add(1, Ordering::Relaxed);
+            handle_assign(shared, stream, assignment_id, indices, spec)
+        }
+        Request::WorkerDrain => {
+            shared.metrics.worker_drains.fetch_add(1, Ordering::Relaxed);
             send_response(stream, &Response::ShutdownAck)?;
             shared.begin_shutdown();
             Ok(false)
@@ -480,11 +535,45 @@ fn handle_submit(
         send_response(stream, &Response::Error("invalid campaign spec".into()))?;
         return Ok(true);
     }
-    let cells = spec.cells.len() as u32;
     let (events, results) = channel();
     let job_id = shared.job_ids.fetch_add(1, Ordering::Relaxed);
     let job = Arc::new(Job::new(job_id, spec, events));
+    enqueue_and_stream(shared, stream, job, &results)
+}
 
+/// Accepts a fabric cell assignment: same queue/executor/cache tiers as a
+/// local submission, but streaming under the coordinator's assignment id
+/// with global grid indices.
+fn handle_assign(
+    shared: &Shared,
+    stream: &mut impl Write,
+    assignment_id: u64,
+    indices: Vec<u32>,
+    spec: CampaignSpec,
+) -> std::io::Result<bool> {
+    // The protocol decoder already enforced the index/cell pairing; the
+    // spec itself must still be a valid (sub-)campaign.
+    if !spec.validate() || indices.len() != spec.cells.len() {
+        send_response(stream, &Response::Error("invalid cell assignment".into()))?;
+        return Ok(true);
+    }
+    let (events, results) = channel();
+    let job_id = shared.job_ids.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(Job::assignment(job_id, assignment_id, indices, spec, events));
+    enqueue_and_stream(shared, stream, job, &results)
+}
+
+/// Shared tail of `handle_submit` / `handle_assign`: push the job through
+/// the bounded queue (explicit backpressure on a full queue) and stream
+/// its events back on this connection.
+fn enqueue_and_stream(
+    shared: &Shared,
+    stream: &mut impl Write,
+    job: Arc<Job>,
+    results: &std::sync::mpsc::Receiver<JobEvent>,
+) -> std::io::Result<bool> {
+    let wire_id = job.wire_id;
+    let cells = job.spec.cells.len() as u32;
     match shared.queue.try_push(Arc::clone(&job)) {
         Err(PushError::Full { capacity }) => {
             shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
@@ -513,7 +602,13 @@ fn handle_submit(
     shared.registry.insert(Arc::clone(&job));
     shared.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
     shared.metrics.set_gauges(shared.queue.len(), usize::from(job.state() == JobState::Running));
-    send_response(stream, &Response::Accepted { job_id, cells })?;
+    send_response(
+        stream,
+        &Response::Accepted {
+            job_id: wire_id,
+            cells,
+        },
+    )?;
 
     // Stream cells as the executor finishes them. The executor always
     // terminates the stream with `Finished`, including for drained or
@@ -524,7 +619,7 @@ fn handle_submit(
                 let sent = send_response(
                     stream,
                     &Response::CellResult {
-                        job_id,
+                        job_id: wire_id,
                         cell_index: index,
                         stats,
                     },
@@ -536,7 +631,7 @@ fn handle_submit(
                 }
             }
             Ok(JobEvent::Finished(state)) => {
-                send_response(stream, &Response::JobDone { job_id, state })?;
+                send_response(stream, &Response::JobDone { job_id: wire_id, state })?;
                 return Ok(true);
             }
             // Sender dropped without Finished — executor died; fail loudly.
@@ -544,7 +639,7 @@ fn handle_submit(
                 send_response(
                     stream,
                     &Response::JobDone {
-                        job_id,
+                        job_id: wire_id,
                         state: JobState::Failed,
                     },
                 )?;

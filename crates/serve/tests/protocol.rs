@@ -112,7 +112,7 @@ fn arb_string(rng: &mut TestRng) -> String {
 }
 
 fn arb_request(rng: &mut TestRng) -> Request {
-    match rng.usize_in(0, 7) {
+    match rng.usize_in(0, 11) {
         0 => Request::SubmitCampaign(arb_spec(rng)),
         1 => Request::SubmitCell {
             campaign_seed: rng.next_u64(),
@@ -131,6 +131,25 @@ fn arb_request(rng: &mut TestRng) -> Request {
             job_id: rng.next_u64(),
         },
         5 => Request::Metrics,
+        6 => Request::RegisterWorker {
+            fleet_epoch: rng.next_u64(),
+        },
+        7 => Request::Heartbeat {
+            nonce: rng.next_u64(),
+        },
+        8 => {
+            // AssignCells requires indices.len() == spec.cells.len().
+            let spec = arb_spec(rng);
+            let indices = (0..spec.cells.len())
+                .map(|_| rng.next_u64() as u32 % 1024)
+                .collect();
+            Request::AssignCells {
+                assignment_id: rng.next_u64(),
+                indices,
+                spec,
+            }
+        }
+        9 => Request::WorkerDrain,
         _ => Request::Shutdown,
     }
 }
@@ -146,7 +165,7 @@ fn arb_state(rng: &mut TestRng) -> JobState {
 }
 
 fn arb_response(rng: &mut TestRng) -> Response {
-    match rng.usize_in(0, 10) {
+    match rng.usize_in(0, 12) {
         0 => Response::Accepted {
             job_id: rng.next_u64(),
             cells: rng.next_u64() as u32 % 1024,
@@ -186,6 +205,17 @@ fn arb_response(rng: &mut TestRng) -> Response {
         },
         7 => Response::MetricsJson(arb_string(rng)),
         8 => Response::Error(arb_string(rng)),
+        9 => Response::WorkerHello {
+            queue_capacity: rng.next_u64() as u32,
+            threads: rng.next_u64() as u32,
+            batch_width: rng.next_u64() as u32,
+            memo_cells: rng.next_u64(),
+        },
+        10 => Response::HeartbeatAck {
+            nonce: rng.next_u64(),
+            queued: rng.next_u64() as u32,
+            running: rng.next_u64() as u32,
+        },
         _ => Response::ShutdownAck,
     }
 }
@@ -299,7 +329,9 @@ fn oversized_declared_length_is_rejected_before_allocation() {
 
 #[test]
 fn bad_version_byte_is_rejected() {
-    for version in [0u8, 2, 9, 0xFF] {
+    // Version 1 predates the fabric frames and is rejected too: workers
+    // and coordinators negotiate nothing, the version byte must match.
+    for version in [0u8, 1, 9, 0xFF] {
         let wire = header(version, 0x06, 0);
         let mut cursor: &[u8] = &wire;
         assert_eq!(read_frame(&mut cursor), Err(ProtocolError::BadVersion(version)));
@@ -316,7 +348,7 @@ fn bad_magic_is_rejected() {
 
 #[test]
 fn unknown_kind_bytes_are_rejected_by_decode() {
-    for kind in [0x00u8, 0x08, 0x7F, 0x8B, 0xFF] {
+    for kind in [0x00u8, 0x0C, 0x7F, 0x8D, 0xFF] {
         let wire = header(VERSION, kind, 0);
         let mut cursor: &[u8] = &wire;
         let (k, payload) = read_frame(&mut cursor).expect("framing is fine");
@@ -347,6 +379,66 @@ fn trailing_bytes_in_fixed_payloads_are_malformed() {
 fn empty_connection_close_is_clean() {
     let mut cursor: &[u8] = &[];
     assert_eq!(read_frame(&mut cursor), Err(ProtocolError::Closed));
+}
+
+#[test]
+fn assign_cells_count_mismatch_is_malformed() {
+    // A valid AssignCells frame whose index count disagrees with the
+    // embedded spec's cell count must be rejected, not trusted.
+    let spec = CampaignSpec {
+        campaign_seed: 7,
+        repetitions: 1,
+        max_steps: 50,
+        scenario_mask: 1,
+        cells: vec![
+            CellSpec {
+                fault: None,
+                interventions: InterventionConfig::none(),
+            },
+            CellSpec {
+                fault: Some(FaultType::Mixed),
+                interventions: InterventionConfig::driver_and_check(),
+            },
+        ],
+    };
+    let good = Request::AssignCells {
+        assignment_id: 9,
+        indices: vec![4, 11],
+        spec: spec.clone(),
+    };
+    let (kind, payload) = frame_roundtrip(good.kind(), &good.payload());
+    assert_eq!(Request::decode(kind, &payload).expect("valid"), good);
+
+    let bad = Request::AssignCells {
+        assignment_id: 9,
+        indices: vec![4],
+        spec,
+    };
+    let result = Request::decode(bad.kind(), &bad.payload());
+    assert!(
+        matches!(result, Err(ProtocolError::Malformed(_))),
+        "count mismatch must be malformed, got {result:?}"
+    );
+}
+
+#[test]
+fn assign_cells_zero_or_huge_count_is_rejected() {
+    use adas_core::job::MAX_CELLS;
+    // Hand-build payloads with hostile counts: 0 cells and
+    // MAX_CELLS + 1 cells (the latter would otherwise pre-allocate).
+    for count in [0u32, (MAX_CELLS + 1) as u32] {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&9u64.to_le_bytes()); // assignment_id
+        payload.extend_from_slice(&count.to_le_bytes());
+        for i in 0..count.min(2048) {
+            payload.extend_from_slice(&i.to_le_bytes());
+        }
+        let result = Request::decode(0x0A, &payload);
+        assert!(
+            matches!(result, Err(ProtocolError::Malformed(_))),
+            "count {count}: expected malformed, got {result:?}"
+        );
+    }
 }
 
 #[test]

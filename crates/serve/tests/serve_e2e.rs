@@ -335,7 +335,7 @@ fn malformed_and_truncated_streams_never_wedge_the_daemon() {
 
     // Truncated frame: declared 100-byte payload, 10 bytes sent, then EOF.
     let mut truncated = std::net::TcpStream::connect(&addr).expect("connect raw");
-    let mut frame = vec![b'A', b'S', 1, 0x04];
+    let mut frame = vec![b'A', b'S', adas_serve::protocol::VERSION, 0x04];
     frame.extend_from_slice(&100u32.to_le_bytes());
     frame.extend_from_slice(&[0u8; 10]);
     truncated.write_all(&frame).expect("write");
