@@ -6,6 +6,13 @@
 //! Usage: `table_vi [reps]` (default 10 repetitions per scenario×position;
 //! pass a smaller number for a quick look).
 //!
+//! `ADAS_MITIGATION={cusum,ensemble,maskcheck}` selects the strategy the
+//! ML row runs (default: the CUSUM baseline, which reproduces the paper's
+//! Table VI exactly); `ADAS_VIEWS=M` overrides the view count of the
+//! view-based strategies. Non-default selections change the row label
+//! (`ML-Ens`/`ML-Mask`) and the cache keys, so variant results never
+//! masquerade as the baseline's.
+//!
 //! Set `ADAS_TRACE=hazard` (or `all`) to run the campaign through the
 //! flight recorder: every run is captured, and traces matching the
 //! persistence policy are written under `ADAS_TRACE_DIR`
@@ -72,7 +79,13 @@ fn main() {
             "A2",
             "Prev",
         ]);
-        for iv in InterventionConfig::table_vi_rows() {
+        for mut iv in InterventionConfig::table_vi_rows() {
+            if iv.ml {
+                // Strategy selection applies only to ML rows; the default
+                // environment leaves the row — and its cache keys —
+                // bit-identical to the historic CUSUM baseline.
+                (iv.mitigation, iv.views) = adas_core::mitigation_from_env();
+            }
             let cfg = PlatformConfig::with_interventions(iv);
             let key = campaign_cell_fingerprint(
                 Some(fault),

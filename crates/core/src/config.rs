@@ -2,6 +2,7 @@
 //! conditions, and subsystem parameters.
 
 use adas_control::AdasConfig;
+use adas_ml::MitigationKind;
 use adas_perception::PerceptionConfig;
 use adas_safety::AebsMode;
 use adas_scenarios::HazardConfig;
@@ -10,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 /// Which safety interventions are active — one value per Table VI row
 /// pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InterventionConfig {
     /// Human-driver reaction simulator enabled.
     pub driver: bool,
@@ -21,8 +22,36 @@ pub struct InterventionConfig {
     pub safety_check: bool,
     /// AEBS configuration (disabled / compromised input / independent).
     pub aebs: AebsMode,
-    /// ML-based mitigation (Algorithm 1) enabled.
+    /// ML-based mitigation enabled.
     pub ml: bool,
+    /// Which mitigation strategy runs when [`Self::ml`] is set
+    /// (`ADAS_MITIGATION`): the Algorithm 1 CUSUM baseline, the
+    /// uncertainty ensemble, or the masked-view agreement check.
+    pub mitigation: MitigationKind,
+    /// View count M for the view-based strategies (`ADAS_VIEWS`); 0 means
+    /// the strategy default (see [`Self::effective_views`]). Ignored by
+    /// the CUSUM baseline.
+    pub views: u8,
+}
+
+/// Cache keys and golden-trace fingerprints hash the `Debug` rendering of
+/// this struct, so the rendering must stay byte-identical to the historic
+/// derived output for historic configurations. The mitigation fields are
+/// appended only when they deviate from the CUSUM default — a manual impl
+/// of exactly what `#[derive(Debug)]` produced before they existed.
+impl std::fmt::Debug for InterventionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("InterventionConfig");
+        s.field("driver", &self.driver)
+            .field("driver_reaction_time", &self.driver_reaction_time)
+            .field("safety_check", &self.safety_check)
+            .field("aebs", &self.aebs)
+            .field("ml", &self.ml);
+        if self.mitigation != MitigationKind::Cusum || self.views != 0 {
+            s.field("mitigation", &self.mitigation).field("views", &self.views);
+        }
+        s.finish()
+    }
 }
 
 impl InterventionConfig {
@@ -35,6 +64,8 @@ impl InterventionConfig {
             safety_check: false,
             aebs: AebsMode::Disabled,
             ml: false,
+            mitigation: MitigationKind::Cusum,
+            views: 0,
         }
     }
 
@@ -93,12 +124,53 @@ impl InterventionConfig {
         }
     }
 
-    /// ML mitigation alone.
+    /// ML mitigation alone (the Algorithm 1 CUSUM baseline).
     #[must_use]
     pub fn ml_only() -> Self {
         Self {
             ml: true,
             ..Self::none()
+        }
+    }
+
+    /// Uncertainty-ensemble mitigation alone.
+    #[must_use]
+    pub fn ensemble_only() -> Self {
+        Self {
+            mitigation: MitigationKind::Ensemble,
+            ..Self::ml_only()
+        }
+    }
+
+    /// Masked-view agreement check alone.
+    #[must_use]
+    pub fn maskcheck_only() -> Self {
+        Self {
+            mitigation: MitigationKind::MaskCheck,
+            ..Self::ml_only()
+        }
+    }
+
+    /// This configuration with the given mitigation strategy selected
+    /// (does not flip [`Self::ml`] itself).
+    #[must_use]
+    pub fn with_mitigation(self, mitigation: MitigationKind) -> Self {
+        Self { mitigation, ..self }
+    }
+
+    /// The effective view count M for the view-based strategies: the
+    /// explicit [`Self::views`] when non-zero, else the strategy default
+    /// (8 for the ensemble, 6 for the masked-view check, 1 for CUSUM
+    /// which runs no view fan-out).
+    #[must_use]
+    pub fn effective_views(&self) -> usize {
+        if self.views != 0 {
+            return usize::from(self.views);
+        }
+        match self.mitigation {
+            MitigationKind::Cusum => 1,
+            MitigationKind::Ensemble => 8,
+            MitigationKind::MaskCheck => 6,
         }
     }
 
@@ -133,7 +205,14 @@ impl InterventionConfig {
             AebsMode::Independent => parts.push("AEB-Indep".to_owned()),
         }
         if self.ml {
-            parts.push("ML".to_owned());
+            parts.push(
+                match self.mitigation {
+                    MitigationKind::Cusum => "ML",
+                    MitigationKind::Ensemble => "ML-Ens",
+                    MitigationKind::MaskCheck => "ML-Mask",
+                }
+                .to_owned(),
+            );
         }
         if parts.is_empty() {
             "None".to_owned()
@@ -142,6 +221,29 @@ impl InterventionConfig {
         }
     }
 }
+
+/// Reads the mitigation-variant knobs from the environment:
+/// `ADAS_MITIGATION` ∈ {`cusum`, `ensemble`, `maskcheck`} (default
+/// `cusum`) and `ADAS_VIEWS` (view count M; 0/unset = strategy default).
+/// Unparseable values fall back to the defaults rather than aborting a
+/// campaign.
+#[must_use]
+pub fn mitigation_from_env() -> (MitigationKind, u8) {
+    let kind = std::env::var("ADAS_MITIGATION")
+        .ok()
+        .and_then(|v| MitigationKind::from_name(&v))
+        .unwrap_or_default();
+    let views = std::env::var("ADAS_VIEWS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u8>().ok())
+        .unwrap_or(0)
+        .min(MAX_VIEWS);
+    (kind, views)
+}
+
+/// Largest encodable view count: the trace header packs the view count
+/// into six spare bits of the ML-intervention byte.
+pub const MAX_VIEWS: u8 = 63;
 
 impl Default for InterventionConfig {
     fn default() -> Self {
@@ -221,5 +323,53 @@ mod tests {
     fn default_run_length() {
         let c = PlatformConfig::default();
         assert_eq!(c.max_steps, 10_000);
+    }
+
+    #[test]
+    fn debug_rendering_is_stable_for_legacy_configs() {
+        // Cache fingerprints and golden-trace config fingerprints hash
+        // this exact rendering: a CUSUM-default config must render without
+        // the mitigation fields, byte-identical to the historic derived
+        // output.
+        let legacy = InterventionConfig::driver_and_check();
+        assert_eq!(
+            format!("{legacy:?}"),
+            "InterventionConfig { driver: true, driver_reaction_time: 2.5, \
+             safety_check: true, aebs: Disabled, ml: false }"
+        );
+        // Non-default variants must render distinctly (distinct cache keys).
+        let ens = InterventionConfig::ensemble_only();
+        assert_eq!(
+            format!("{ens:?}"),
+            "InterventionConfig { driver: false, driver_reaction_time: 2.5, \
+             safety_check: false, aebs: Disabled, ml: true, \
+             mitigation: Ensemble, views: 0 }"
+        );
+        assert_ne!(format!("{:?}", InterventionConfig::ml_only()), format!("{ens:?}"));
+        assert_ne!(
+            format!("{:?}", InterventionConfig::maskcheck_only()),
+            format!("{ens:?}")
+        );
+        // An explicit view count also renders (distinct key per M).
+        let mut ens12 = ens;
+        ens12.views = 12;
+        assert_ne!(format!("{ens12:?}"), format!("{ens:?}"));
+    }
+
+    #[test]
+    fn mitigation_variant_labels() {
+        assert_eq!(InterventionConfig::ml_only().label(), "ML");
+        assert_eq!(InterventionConfig::ensemble_only().label(), "ML-Ens");
+        assert_eq!(InterventionConfig::maskcheck_only().label(), "ML-Mask");
+    }
+
+    #[test]
+    fn effective_views_defaults_per_strategy() {
+        assert_eq!(InterventionConfig::ml_only().effective_views(), 1);
+        assert_eq!(InterventionConfig::ensemble_only().effective_views(), 8);
+        assert_eq!(InterventionConfig::maskcheck_only().effective_views(), 6);
+        let mut c = InterventionConfig::ensemble_only();
+        c.views = 3;
+        assert_eq!(c.effective_views(), 3);
     }
 }

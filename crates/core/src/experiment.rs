@@ -14,7 +14,8 @@ use crate::config::PlatformConfig;
 use crate::platform::Platform;
 use adas_attack::{FaultInjector, FaultSpec, FaultType};
 use adas_ml::{
-    ControlTarget, Dataset, LstmPredictor, MitigationConfig, MlMitigator, StateFeatures,
+    ControlTarget, Dataset, EnsembleConfig, EnsembleMitigator, LstmPredictor, MaskCheckConfig,
+    MaskCheckMitigator, MitigationConfig, MitigationKind, Mitigator, MlMitigator, StateFeatures,
 };
 use adas_scenarios::{AccidentKind, InitialPosition, RunRecord, ScenarioId, ScenarioSetup};
 use adas_simulator::DeterministicRng;
@@ -70,10 +71,41 @@ pub(crate) fn build_platform(
         Some(ft) => FaultInjector::new(FaultSpec::new(ft, setup.patch_start_s)),
         None => FaultInjector::disabled(),
     };
-    let ml = ml_model
-        .filter(|_| config.interventions.ml)
-        .map(|m| MlMitigator::new(Arc::clone(m), MitigationConfig::default()));
+    let ml = make_mitigator(ml_model, config, &mut setup_rng);
     Platform::new(&setup, *config, injector, ml, &mut setup_rng)
+}
+
+/// Constructs the configured mitigation runtime for one run, drawing any
+/// strategy-specific jitter streams from `setup_rng`.
+///
+/// Must be called between `ScenarioSetup::build` and `Platform::new` so
+/// every execution path (scalar, batched, traced, replayed) consumes
+/// `setup_rng` identically for a given variant. The splits are gated on
+/// the variant: the CUSUM baseline — and any unmitigated run — draws
+/// nothing, which keeps every pre-existing RNG stream bit-exact.
+pub(crate) fn make_mitigator(
+    ml_model: Option<&Arc<LstmPredictor>>,
+    config: &PlatformConfig,
+    setup_rng: &mut DeterministicRng,
+) -> Option<Mitigator> {
+    let iv = &config.interventions;
+    let model = ml_model.filter(|_| iv.ml)?;
+    Some(match iv.mitigation {
+        MitigationKind::Cusum => Mitigator::Cusum(MlMitigator::new(
+            Arc::clone(model),
+            MitigationConfig::default(),
+        )),
+        MitigationKind::Ensemble => Mitigator::Ensemble(EnsembleMitigator::new(
+            Arc::clone(model),
+            EnsembleConfig::with_views(iv.effective_views()),
+            setup_rng.split(0xE45E),
+        )),
+        MitigationKind::MaskCheck => Mitigator::MaskCheck(MaskCheckMitigator::new(
+            Arc::clone(model),
+            MaskCheckConfig::with_views(iv.effective_views()),
+            setup_rng.split(0x3A5C),
+        )),
+    })
 }
 
 /// Bitmask selecting every scenario (bit `i` = `ScenarioId::ALL[i]`).

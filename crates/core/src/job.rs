@@ -16,7 +16,8 @@
 //! the "bit-identical outcome" criterion the integration tests assert).
 
 use crate::cache::Fingerprint;
-use crate::config::{InterventionConfig, PlatformConfig};
+use crate::config::{InterventionConfig, PlatformConfig, MAX_VIEWS};
+use adas_ml::MitigationKind;
 use crate::experiment::{
     campaign_cell_fingerprint, campaign_run_ids_masked, RunId, SCENARIO_MASK_ALL,
 };
@@ -193,8 +194,9 @@ pub struct CellSpec {
 }
 
 impl CellSpec {
-    /// Encodes into `out` (fault tag, intervention flags, AEBS mode,
-    /// reaction time).
+    /// Encodes into `out` (fault tag, intervention flags — bits 3-4 carry
+    /// the mitigation-strategy code — AEBS mode, reaction time, view
+    /// count).
     pub fn encode(&self, out: &mut ByteWriter) {
         out.u8(match self.fault {
             None => 0,
@@ -203,8 +205,10 @@ impl CellSpec {
             Some(FaultType::Mixed) => 3,
         });
         let iv = self.interventions;
-        let flags =
-            u8::from(iv.driver) | (u8::from(iv.safety_check) << 1) | (u8::from(iv.ml) << 2);
+        let flags = u8::from(iv.driver)
+            | (u8::from(iv.safety_check) << 1)
+            | (u8::from(iv.ml) << 2)
+            | (iv.mitigation.code() << 3);
         out.u8(flags);
         out.u8(match iv.aebs {
             AebsMode::Disabled => 0,
@@ -212,10 +216,11 @@ impl CellSpec {
             AebsMode::Independent => 2,
         });
         out.f64(iv.driver_reaction_time);
+        out.u8(iv.views);
     }
 
-    /// Decodes one cell; `None` on any out-of-range tag or a non-finite /
-    /// non-positive reaction time.
+    /// Decodes one cell; `None` on any out-of-range tag, a non-finite /
+    /// non-positive reaction time, or an out-of-range view count.
     pub fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
         let fault = match r.u8()? {
             0 => None,
@@ -225,9 +230,10 @@ impl CellSpec {
             _ => return None,
         };
         let flags = r.u8()?;
-        if flags & !0b111 != 0 {
+        if flags & !0b1_1111 != 0 {
             return None;
         }
+        let mitigation = MitigationKind::from_code((flags >> 3) & 0b11)?;
         let aebs = match r.u8()? {
             0 => AebsMode::Disabled,
             1 => AebsMode::Compromised,
@@ -238,6 +244,10 @@ impl CellSpec {
         if !driver_reaction_time.is_finite() || driver_reaction_time <= 0.0 {
             return None;
         }
+        let views = r.u8()?;
+        if views > MAX_VIEWS {
+            return None;
+        }
         Some(Self {
             fault,
             interventions: InterventionConfig {
@@ -246,6 +256,8 @@ impl CellSpec {
                 safety_check: flags & 0b10 != 0,
                 aebs,
                 ml: flags & 0b100 != 0,
+                mitigation,
+                views,
             },
         })
     }
@@ -267,8 +279,10 @@ pub struct CampaignSpec {
     pub cells: Vec<CellSpec>,
 }
 
-/// Version tag leading every serialised [`CampaignSpec`].
-const CAMPAIGN_SPEC_VERSION: u8 = 1;
+/// Version tag leading every serialised [`CampaignSpec`]. v2 widened the
+/// cell layout with the mitigation-strategy flag bits and a view-count
+/// byte; v1 frames are rejected rather than misparsed.
+const CAMPAIGN_SPEC_VERSION: u8 = 2;
 
 impl CampaignSpec {
     /// A full-grid campaign (all scenarios, default run length).
@@ -582,6 +596,77 @@ mod tests {
         let mut masked = spec.clone();
         masked.scenario_mask = 0b1;
         assert_ne!(masked.cell_key(&cell, None), direct);
+    }
+
+    #[test]
+    fn mitigation_cells_roundtrip() {
+        let mut ens = InterventionConfig::ensemble_only();
+        ens.views = 12;
+        let spec = CampaignSpec {
+            cells: vec![
+                CellSpec {
+                    fault: Some(FaultType::RelativeDistance),
+                    interventions: ens,
+                },
+                CellSpec {
+                    fault: Some(FaultType::Mixed),
+                    interventions: InterventionConfig::maskcheck_only(),
+                },
+            ],
+            ..sample_spec()
+        };
+        assert_eq!(CampaignSpec::from_bytes(&spec.to_bytes()), Some(spec));
+    }
+
+    #[test]
+    fn mitigation_variants_get_distinct_cache_and_route_keys() {
+        // Satellite regression: the three mitigation strategies — and
+        // different view counts of one strategy — are different
+        // experiments, so the memo/disk cache keys and the fabric routing
+        // keys must all be distinct. A collision here would silently serve
+        // one strategy's Table VII numbers as another's.
+        let fault = Some(FaultType::RelativeDistance);
+        let mut variants = vec![
+            InterventionConfig::ml_only(),
+            InterventionConfig::ensemble_only(),
+            InterventionConfig::maskcheck_only(),
+        ];
+        let mut ens12 = InterventionConfig::ensemble_only();
+        ens12.views = 12;
+        variants.push(ens12);
+        let cells: Vec<CellSpec> = variants
+            .iter()
+            .map(|&interventions| CellSpec {
+                fault,
+                interventions,
+            })
+            .collect();
+        let spec = CampaignSpec::new(2025, 10, cells.clone());
+        let model = Some(Fingerprint::new().write_str("weights"));
+        for i in 0..cells.len() {
+            for j in i + 1..cells.len() {
+                assert_ne!(
+                    spec.cell_key(&cells[i], model),
+                    spec.cell_key(&cells[j], model),
+                    "cache-key collision between variants {i} and {j}"
+                );
+                assert_ne!(
+                    spec.route_key(&cells[i]),
+                    spec.route_key(&cells[j]),
+                    "route-key collision between variants {i} and {j}"
+                );
+            }
+        }
+        // The CUSUM cell keeps the exact legacy key: pre-existing cache
+        // entries written before the variants existed stay valid.
+        let legacy = campaign_cell_fingerprint(
+            fault,
+            &PlatformConfig::with_interventions(InterventionConfig::ml_only()),
+            model,
+            2025,
+            10,
+        );
+        assert_eq!(spec.cell_key(&cells[0], model), legacy);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::config::PlatformConfig;
 use adas_attack::{FaultContext, FaultInjector};
 use adas_control::{AdasCommand, AdasController};
-use adas_ml::{ControlTarget, MlMitigator, StateFeatures, FEATURE_DIM, TARGET_DIM};
+use adas_ml::{ControlTarget, Mitigator, PerceptionViews, StateFeatures, FEATURE_DIM, TARGET_DIM};
 use adas_perception::{PerceptionEmulator, PerceptionFrame};
 use adas_safety::{
     arbitrate, Aebs, AebsConfig, AebsMode, AebsOutput, ArbiterInputs, CommandSource,
@@ -53,7 +53,7 @@ pub struct Platform {
     check: Option<SafetyCheck>,
     driver: Option<DriverModel>,
     ldw: Ldw,
-    ml: Option<MlMitigator>,
+    ml: Option<Mitigator>,
     hazards: HazardMonitor,
     metrics: RunMetrics,
     trace: Option<TraceRecorder>,
@@ -67,14 +67,15 @@ impl Platform {
     /// Assembles a platform for one scenario run.
     ///
     /// `injector` carries the attack (use [`FaultInjector::disabled`] for
-    /// benign runs); `ml` is the trained mitigation runtime when the
-    /// configuration enables it; `rng` seeds the perception noise.
+    /// benign runs); `ml` is the mitigation runtime (any
+    /// [`Mitigator`] variant) when the configuration enables it; `rng`
+    /// seeds the perception noise.
     #[must_use]
     pub fn new(
         setup: &ScenarioSetup,
         config: PlatformConfig,
         injector: FaultInjector,
-        ml: Option<MlMitigator>,
+        ml: Option<Mitigator>,
         rng: &mut DeterministicRng,
     ) -> Self {
         let mut adas_cfg = config.adas;
@@ -162,7 +163,10 @@ impl Platform {
     /// paths execute identical per-run operation sequences.
     pub fn step(&mut self) -> PerceptionFrame {
         let pending = self.begin_step();
-        let ml_y = match (self.ml.as_mut(), pending.ml_input.as_ref()) {
+        let ml_y = match (
+            self.ml.as_mut().and_then(Mitigator::as_cusum_mut),
+            pending.ml_input.as_ref(),
+        ) {
             (Some(ml), Some(input)) => Some(ml.forward(&input.x)),
             _ => None,
         };
@@ -176,9 +180,14 @@ impl Platform {
         let dt = adas_simulator::units::SIM_DT;
         let time = self.world.time();
 
-        // 1. Perception (DNN outputs) + fault injection.
+        // 1. Perception (DNN outputs) + fault injection. The pre-injection
+        // channel values are captured first (plain reads, no stream
+        // consumption) — the view-based mitigations jitter the fault delta
+        // between these and the post-injection values.
         let truth = self.world.lead_observation();
         let mut frame = self.perception.perceive(&self.world);
+        let clean_rd = frame.lead.map(|l| l.distance);
+        let clean_kappa = frame.desired_curvature;
         let fault_active = self.injector.apply(
             &mut frame,
             &FaultContext {
@@ -233,30 +242,52 @@ impl Platform {
             None => adas_safety::DriverAction::default(),
         };
 
-        // 7 (first half). ML mitigation (Algorithm 1) consumes fault-free
-        // redundant state; encode the features here, leaving the LSTM
-        // forward to the caller (scalar inline or batched across lanes).
-        let ml_input = if self.ml.is_some() {
-            let features = StateFeatures {
-                ego_speed: ego_state.v,
-                lead_distance: truth.map_or(f64::INFINITY, |o| o.distance),
-                closing_speed: truth.map_or(0.0, |o| o.closing_speed),
-                left_line: self.world.road().lane_width() / 2.0 - ego_state.d,
-                right_line: self.world.road().lane_width() / 2.0 + ego_state.d,
-                curvature: self.world.road().curvature_at(ego_state.s),
-                heading: ego_state.psi,
-                prev_accel: self.last_executed.accel,
-                prev_steer: self.last_executed.steer,
-            };
-            Some(MlInput {
-                x: features.encode(),
-                op_out: ControlTarget {
+        // 7 (first half). ML mitigation consumes fault-free redundant
+        // state; encode the staging for the active strategy here. The
+        // CUSUM baseline gets its feature vector (LSTM forward left to the
+        // caller — scalar inline or batched across lanes); the view-based
+        // strategies get the clean/attacked perception channel pairs and
+        // run their own view fan-out inside `finish_step`.
+        let (ml_input, views_input) = match self.ml.as_ref() {
+            None => (None, None),
+            Some(mit) => {
+                let features = StateFeatures {
+                    ego_speed: ego_state.v,
+                    lead_distance: truth.map_or(f64::INFINITY, |o| o.distance),
+                    closing_speed: truth.map_or(0.0, |o| o.closing_speed),
+                    left_line: self.world.road().lane_width() / 2.0 - ego_state.d,
+                    right_line: self.world.road().lane_width() / 2.0 + ego_state.d,
+                    curvature: self.world.road().curvature_at(ego_state.s),
+                    heading: ego_state.psi,
+                    prev_accel: self.last_executed.accel,
+                    prev_steer: self.last_executed.steer,
+                };
+                let op_out = ControlTarget {
                     accel: checked_cmd.accel,
                     steer: checked_cmd.steer,
-                },
-            })
-        } else {
-            None
+                };
+                if mit.wants_views() {
+                    (
+                        None,
+                        Some(PerceptionViews {
+                            features,
+                            clean_rd,
+                            attacked_rd: frame.lead.map(|l| l.distance),
+                            clean_kappa,
+                            attacked_kappa: frame.desired_curvature,
+                            op_out,
+                        }),
+                    )
+                } else {
+                    (
+                        Some(MlInput {
+                            x: features.encode(),
+                            op_out,
+                        }),
+                        None,
+                    )
+                }
+            }
         };
 
         PendingCycle {
@@ -269,6 +300,7 @@ impl Platform {
             driver_action,
             true_line_dist,
             ml_input,
+            views_input,
         }
     }
 
@@ -296,19 +328,38 @@ impl Platform {
             driver_action,
             true_line_dist,
             ml_input,
+            views_input,
         } = pending;
 
-        // 7 (second half). Mitigation decision on the computed output.
-        let ml_cmd = match (self.ml.as_mut(), ml_input, ml_y) {
-            (Some(ml), Some(input), Some(y)) => {
-                ml.update_with_output(&y, &input.op_out, time).map(|target| AdasCommand {
-                    accel: target.accel,
-                    steer: target.steer,
-                    lead_engaged: checked_cmd.lead_engaged,
-                })
+        // 7 (second half). Mitigation decision: the CUSUM baseline judges
+        // the externally computed LSTM output; the view-based strategies
+        // run their whole cycle here on the staged perception views.
+        let to_cmd = |target: ControlTarget| AdasCommand {
+            accel: target.accel,
+            steer: target.steer,
+            lead_engaged: checked_cmd.lead_engaged,
+        };
+        let ml_cmd = match self.ml.as_mut() {
+            None => match (ml_input, ml_y) {
+                (None, None) => None,
+                _ => panic!("ml_y must accompany a pending ML input (and only then)"),
+            },
+            Some(Mitigator::Cusum(ml)) => match (ml_input, ml_y) {
+                (Some(input), Some(y)) => {
+                    ml.update_with_output(&y, &input.op_out, time).map(to_cmd)
+                }
+                _ => panic!("ml_y must accompany a pending ML input (and only then)"),
+            },
+            Some(mit) => {
+                assert!(
+                    ml_y.is_none(),
+                    "view-based mitigations compute inline; no external LSTM output expected"
+                );
+                let views = views_input
+                    .as_ref()
+                    .expect("views staged for a view-based mitigator");
+                mit.update_views(views, time).map(to_cmd)
             }
-            (None, None, None) => None,
-            _ => panic!("ml_y must accompany a pending ML input (and only then)"),
         };
 
         // 8. Priority arbitration (AEB > driver > ML > ADAS).
@@ -462,6 +513,9 @@ pub(crate) struct PendingCycle {
     driver_action: DriverAction,
     true_line_dist: f64,
     pub(crate) ml_input: Option<MlInput>,
+    /// Clean/attacked perception channel pairs for the view-based
+    /// mitigations (`None` for the CUSUM baseline and unmitigated runs).
+    views_input: Option<PerceptionViews>,
 }
 
 /// Tri-state "is the run finished" answer.

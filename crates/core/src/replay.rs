@@ -15,10 +15,10 @@
 
 use crate::cache::Fingerprint;
 use crate::config::{InterventionConfig, PlatformConfig};
-use crate::experiment::{campaign_run_ids, RunId};
+use crate::experiment::{campaign_run_ids, make_mitigator, RunId};
 use crate::platform::{Platform, RunEnd, RunEnd2};
 use adas_attack::{FaultInjector, FaultSpec, FaultType};
-use adas_ml::{LstmPredictor, MitigationConfig, MlMitigator};
+use adas_ml::{LstmPredictor, MitigationKind};
 use adas_recorder::trace::InterventionSummary;
 use adas_recorder::{
     diff_traces, DiffReport, EndReason, RecordMode, Trace, TraceHeader, TraceOutcome, TracePolicy,
@@ -92,6 +92,8 @@ pub fn trace_header(
             safety_check: iv.safety_check,
             aebs: iv.aebs,
             ml: iv.ml,
+            mitigation: iv.mitigation.code(),
+            views: iv.views,
         },
         friction: config.friction,
         max_steps: config.max_steps as u64,
@@ -111,6 +113,9 @@ pub fn reconstruct_config(header: &TraceHeader) -> PlatformConfig {
             safety_check: header.interventions.safety_check,
             aebs: header.interventions.aebs,
             ml: header.interventions.ml,
+            mitigation: MitigationKind::from_code(header.interventions.mitigation)
+                .unwrap_or_default(),
+            views: header.interventions.views,
         },
         friction: header.friction,
         max_steps: usize::try_from(header.max_steps).unwrap_or(usize::MAX),
@@ -147,9 +152,7 @@ pub fn run_traced(
         Some(ft) => FaultInjector::new(FaultSpec::new(ft, setup.patch_start_s)),
         None => FaultInjector::disabled(),
     };
-    let ml = ml_model
-        .filter(|_| config.interventions.ml)
-        .map(|m| MlMitigator::new(Arc::clone(m), MitigationConfig::default()));
+    let ml = make_mitigator(ml_model, config, &mut setup_rng);
     let mut platform = Platform::new(&setup, *config, injector, ml, &mut setup_rng);
     platform.attach_writer(make_writer(mode, config.max_steps));
     let end = loop {

@@ -88,6 +88,7 @@ fn spawn_workers(n: usize, queue: usize) -> std::io::Result<Vec<BenchWorker>> {
                 queue_capacity: queue,
                 cache: ArtifactCache::disabled(),
                 trace_dir: std::env::temp_dir(),
+                model_spec: adas_core::ModelSpec::default(),
             })?;
             let addr = server.local_addr()?.to_string();
             let thread = std::thread::spawn(move || {

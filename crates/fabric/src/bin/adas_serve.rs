@@ -59,7 +59,8 @@ USAGE:
                            [--faults LIST|all] [--rows LIST|all]
       Submit a campaign grid and stream per-cell results.
       Faults: none rd dc mixed. Rows: none driver driver-check
-      driver-check-aeb-comp driver-check-aeb-indep aeb-comp aeb-indep ml.
+      driver-check-aeb-comp driver-check-aeb-indep aeb-comp aeb-indep
+      ml ml-ens ml-mask.
 
   adas-serve client bench [--addr A] [campaign flags]
       Submit the same campaign twice and report cold vs warm wall time.
@@ -321,6 +322,8 @@ fn parse_rows(list: &str) -> Result<Vec<InterventionConfig>, String> {
             "aeb-comp" => Ok(InterventionConfig::aeb_compromised_only()),
             "aeb-indep" => Ok(InterventionConfig::aeb_independent_only()),
             "ml" => Ok(InterventionConfig::ml_only()),
+            "ml-ens" => Ok(InterventionConfig::ensemble_only()),
+            "ml-mask" => Ok(InterventionConfig::maskcheck_only()),
             other => Err(format!("--rows: unknown row `{other}`")),
         })
         .collect()

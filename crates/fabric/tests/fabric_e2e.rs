@@ -25,11 +25,19 @@ fn tmp_dir(name: &str) -> PathBuf {
 
 /// Binds an in-process worker daemon on an ephemeral port.
 fn start_worker(name: &str) -> (String, thread::JoinHandle<std::io::Result<()>>) {
+    start_worker_with_spec(name, adas_ml::ModelSpec::default())
+}
+
+fn start_worker_with_spec(
+    name: &str,
+    model_spec: adas_ml::ModelSpec,
+) -> (String, thread::JoinHandle<std::io::Result<()>>) {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
         queue_capacity: 8,
         cache: ArtifactCache::disabled(),
         trace_dir: tmp_dir(name),
+        model_spec,
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -177,6 +185,101 @@ fn sharded_campaign_bit_identical_to_direct_and_single_daemon() {
     client.shutdown().expect("front shutdown");
     front_thread.join().expect("join").expect("front exits");
 
+    for (addr, handle) in fleet {
+        stop_worker(&addr, handle);
+    }
+}
+
+#[test]
+fn mitigation_cells_shard_bit_identically_to_direct_and_single_daemon() {
+    // One cell per ML mitigation strategy: the strategy + view count ride
+    // the v2 cell codec through routing and land on (potentially)
+    // different workers, and every path — direct, single daemon, sharded
+    // fabric — must produce the same bytes. Workers train their resident
+    // model at a small spec so the test stays cheap; the direct reference
+    // trains identical weights through the same pipeline.
+    let tiny = adas_ml::ModelSpec {
+        hidden1: 16,
+        hidden2: 8,
+        seed: 9,
+    };
+    let spec = CampaignSpec {
+        campaign_seed: 8_082_025,
+        repetitions: 1,
+        max_steps: 900,
+        scenario_mask: 0b00_1001,
+        cells: vec![
+            CellSpec {
+                fault: Some(FaultType::RelativeDistance),
+                interventions: InterventionConfig::ml_only(),
+            },
+            CellSpec {
+                fault: Some(FaultType::RelativeDistance),
+                interventions: InterventionConfig::ensemble_only(),
+            },
+            CellSpec {
+                fault: Some(FaultType::Mixed),
+                interventions: InterventionConfig::maskcheck_only(),
+            },
+        ],
+    };
+    let model = std::sync::Arc::new(adas_bench::trained_baseline_cached(
+        &ArtifactCache::disabled(),
+        spec.campaign_seed,
+        tiny,
+    ));
+    let ids = spec.run_ids();
+    let reference: Vec<Vec<u8>> = spec
+        .cells
+        .iter()
+        .map(|cell| {
+            let config = spec.config_for(cell);
+            let records: Vec<RunRecord> = ids
+                .iter()
+                .map(|id| run_single(*id, cell.fault, &config, Some(&model), spec.campaign_seed))
+                .collect();
+            CellStats::from_records(&records).to_bytes()
+        })
+        .collect();
+
+    // Single daemon over the wire.
+    let (solo_addr, solo) = start_worker_with_spec("mitig-solo", tiny);
+    let mut client = Client::connect(&solo_addr).expect("connect solo");
+    let result = client
+        .run_campaign(&spec, |_, _| {})
+        .expect("protocol ok")
+        .expect("accepted");
+    assert_eq!(result.state, JobState::Done);
+    let solo_bytes: Vec<Vec<u8>> = result.cells.iter().map(|(_, s)| s.to_bytes()).collect();
+    stop_worker(&solo_addr, solo);
+    assert_eq!(
+        solo_bytes, reference,
+        "single-daemon mitigation cells must match the direct path"
+    );
+
+    // Two-worker fabric: mitigation variants of otherwise-equal cells
+    // have distinct route keys, so they may land on different workers.
+    let fleet: Vec<(String, _)> = (0..2)
+        .map(|i| start_worker_with_spec(&format!("mitig-w{i}"), tiny))
+        .collect();
+    let addrs: Vec<String> = fleet.iter().map(|(a, _)| a.clone()).collect();
+    // Lazy model training + view-based cells make the first dispatch slow
+    // on a loaded machine — keep the silence deadline far above it so
+    // this test never exercises the dead-worker path.
+    let config = FabricConfig {
+        deadline: Duration::from_secs(300),
+        ..fabric_config(addrs)
+    };
+    let coordinator = Coordinator::connect(&config).expect("connect fleet");
+    let cells = coordinator
+        .run_campaign(&spec, |_, _| {})
+        .expect("sharded mitigation campaign");
+    let fabric_bytes: Vec<Vec<u8>> = cells.iter().map(CellStats::to_bytes).collect();
+    assert_eq!(
+        fabric_bytes, reference,
+        "sharded mitigation cells must be bit-identical to the direct path"
+    );
+    coordinator.fleet.stop();
     for (addr, handle) in fleet {
         stop_worker(&addr, handle);
     }

@@ -20,7 +20,7 @@ use crate::oracle::{
 };
 use crate::shrink::shrink;
 use adas_attack::FaultType;
-use adas_core::PlatformConfig;
+use adas_core::{MitigationKind, PlatformConfig};
 use adas_recorder::Trace;
 use adas_safety::AebsMode;
 use adas_scenarios::{InitialPosition, RunRecord, ScenarioId};
@@ -94,6 +94,21 @@ fn ablations(config: &PlatformConfig) -> Vec<(&'static str, PlatformConfig)> {
         let mut c = *config;
         c.interventions.aebs = AebsMode::Disabled;
         out.push(("aebs", c));
+    }
+    if iv.ml {
+        let mut c = *config;
+        c.interventions.ml = false;
+        // Channel named by the active strategy: a regression caused by the
+        // uncertainty ensemble must not be filed against the CUSUM
+        // baseline.
+        out.push((
+            match iv.mitigation {
+                MitigationKind::Cusum => "ml-cusum",
+                MitigationKind::Ensemble => "ml-ensemble",
+                MitigationKind::MaskCheck => "ml-maskcheck",
+            },
+            c,
+        ));
     }
     out
 }
@@ -482,5 +497,25 @@ mod tests {
         assert_eq!(names, vec!["driver", "safety-check", "aebs"]);
         let none = FuzzCase::baseline(ScenarioId::S1, InitialPosition::Near, 0, None).config();
         assert!(ablations(&none).is_empty());
+    }
+
+    #[test]
+    fn ml_ablation_channel_is_named_by_strategy() {
+        use adas_core::InterventionConfig;
+        for (iv, expect) in [
+            (InterventionConfig::ml_only(), "ml-cusum"),
+            (InterventionConfig::ensemble_only(), "ml-ensemble"),
+            (InterventionConfig::maskcheck_only(), "ml-maskcheck"),
+        ] {
+            let cfg = PlatformConfig::with_interventions(iv);
+            let chans = ablations(&cfg);
+            let names: Vec<_> = chans.iter().map(|(n, _)| *n).collect();
+            assert_eq!(names, vec![expect], "{iv:?}");
+            // The ablated config actually disables the channel (and keeps
+            // the strategy selection, so reruns stay comparable).
+            let (_, ablated) = chans[0];
+            assert!(!ablated.interventions.ml);
+            assert_eq!(ablated.interventions.mitigation, iv.mitigation);
+        }
     }
 }

@@ -439,6 +439,27 @@ mod tests {
     }
 
     #[test]
+    fn regression_oracle_fires_on_seeded_ml_channel_regressions() {
+        // Self-test for the mitigation channels: seed a regression (the
+        // run with the strategy enabled crashes, the ablated run is
+        // clean) through each ML channel name and require the oracle to
+        // fire with the channel attributed in the detail text.
+        let crash = RunRecord {
+            accident: Some(AccidentKind::ForwardCollision),
+            ..RunRecord::default()
+        };
+        let clean = RunRecord::default();
+        for channel in ["ml-cusum", "ml-ensemble", "ml-maskcheck"] {
+            let v = check_regression(&crash, channel, &clean)
+                .unwrap_or_else(|| panic!("{channel}: seeded regression must fire"));
+            assert_eq!(v.oracle, OracleKind::InterventionRegression);
+            assert!(v.detail.contains(channel), "{channel}: {}", v.detail);
+            // And the strategy helping must stay silent.
+            assert!(check_regression(&clean, channel, &crash).is_none());
+        }
+    }
+
+    #[test]
     fn diverging_prefix_under_patch_shift_is_caught() {
         let cfg = full_config();
         let mut base_samples: Vec<TraceSample> = (0..10).map(|i| sample(i as f64)).collect();

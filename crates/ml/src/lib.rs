@@ -20,15 +20,19 @@
 
 pub mod adam;
 pub mod cusum;
+pub mod ensemble;
 pub mod features;
 pub mod linear;
 pub mod lstm;
+pub mod maskcheck;
 pub mod mitigation;
 pub mod model;
 pub mod train;
 
 pub use cusum::Cusum;
+pub use ensemble::{EnsembleConfig, EnsembleMitigator, PerceptionViews};
 pub use features::{ControlTarget, StateFeatures, FEATURE_DIM, TARGET_DIM, WINDOW};
-pub use mitigation::{MitigationConfig, MlMitigator};
+pub use maskcheck::{MaskCheckConfig, MaskCheckMitigator};
+pub use mitigation::{MitigationConfig, MitigationKind, Mitigator, MlMitigator};
 pub use model::{BatchInferScratch, BatchPredictorState, LstmPredictor, ModelSpec};
 pub use train::{train, Dataset, Sample, TrainConfig, TrainReport};

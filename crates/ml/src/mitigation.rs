@@ -7,10 +7,176 @@
 //! below the bias.
 
 use crate::cusum::Cusum;
+use crate::ensemble::{EnsembleMitigator, PerceptionViews};
 use crate::features::{ControlTarget, StateFeatures, FEATURE_DIM, TARGET_DIM, WINDOW};
+use crate::maskcheck::MaskCheckMitigator;
 use crate::model::{InferScratch, LstmPredictor, PredictorState};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Which mitigation strategy guards a run — the `ADAS_MITIGATION` axis of
+/// the Table VII-style comparison grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MitigationKind {
+    /// The paper's Algorithm 1 baseline: LSTM prediction + CUSUM gate.
+    #[default]
+    Cusum,
+    /// Uncertainty ensemble (Jiao et al.): M jittered perception views,
+    /// disagreement de-rates control authority.
+    Ensemble,
+    /// Masked-view agreement check (PatchGuard-style): inconsistency
+    /// across M masked/jittered views latches attack evidence.
+    MaskCheck,
+}
+
+impl MitigationKind {
+    /// Every strategy, in comparison-grid order.
+    pub const ALL: [MitigationKind; 3] = [
+        MitigationKind::Cusum,
+        MitigationKind::Ensemble,
+        MitigationKind::MaskCheck,
+    ];
+
+    /// Stable wire/cache code (0 = cusum, 1 = ensemble, 2 = maskcheck).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            MitigationKind::Cusum => 0,
+            MitigationKind::Ensemble => 1,
+            MitigationKind::MaskCheck => 2,
+        }
+    }
+
+    /// Inverse of [`Self::code`]; `None` for unknown codes.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(MitigationKind::Cusum),
+            1 => Some(MitigationKind::Ensemble),
+            2 => Some(MitigationKind::MaskCheck),
+            _ => None,
+        }
+    }
+
+    /// The `ADAS_MITIGATION` spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MitigationKind::Cusum => "cusum",
+            MitigationKind::Ensemble => "ensemble",
+            MitigationKind::MaskCheck => "maskcheck",
+        }
+    }
+
+    /// Parses the `ADAS_MITIGATION` spelling (case-insensitive); `None`
+    /// for unknown names.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "cusum" => Some(MitigationKind::Cusum),
+            "ensemble" => Some(MitigationKind::Ensemble),
+            "maskcheck" => Some(MitigationKind::MaskCheck),
+            _ => None,
+        }
+    }
+}
+
+/// A run's mitigation runtime: any of the three strategies behind one
+/// seam. The platform stages per-cycle inputs once and dispatches here —
+/// the CUSUM variant consumes the encoded feature vector (scalar forward
+/// inline, or one lane of the campaign's batched panel), the view-based
+/// variants consume [`PerceptionViews`] and run their own view fan-out.
+#[derive(Debug, Clone)]
+pub enum Mitigator {
+    /// LSTM + CUSUM (Algorithm 1).
+    Cusum(MlMitigator),
+    /// Uncertainty ensemble.
+    Ensemble(EnsembleMitigator),
+    /// Masked-view agreement check.
+    MaskCheck(MaskCheckMitigator),
+}
+
+impl Mitigator {
+    /// Which strategy this is.
+    #[must_use]
+    pub fn kind(&self) -> MitigationKind {
+        match self {
+            Mitigator::Cusum(_) => MitigationKind::Cusum,
+            Mitigator::Ensemble(_) => MitigationKind::Ensemble,
+            Mitigator::MaskCheck(_) => MitigationKind::MaskCheck,
+        }
+    }
+
+    /// True when this strategy consumes [`PerceptionViews`] (clean +
+    /// attacked perception reads) instead of the encoded CUSUM input.
+    #[must_use]
+    pub fn wants_views(&self) -> bool {
+        !matches!(self, Mitigator::Cusum(_))
+    }
+
+    /// The CUSUM runtime, when that is the active strategy (the batched
+    /// campaign executor drives its forward/decide split directly).
+    #[must_use]
+    pub fn as_cusum_mut(&mut self) -> Option<&mut MlMitigator> {
+        match self {
+            Mitigator::Cusum(ml) => Some(ml),
+            _ => None,
+        }
+    }
+
+    /// Runs one control cycle of a view-based strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the CUSUM variant — its cycle is the
+    /// [`MlMitigator::forward`] / [`MlMitigator::update_with_output`]
+    /// split, fed by the platform's `ml_input` staging.
+    pub fn update_views(&mut self, views: &PerceptionViews, time: f64) -> Option<ControlTarget> {
+        match self {
+            Mitigator::Cusum(_) => {
+                panic!("cusum consumes the encoded ml_input, not perception views")
+            }
+            Mitigator::Ensemble(e) => e.update_views(views, time),
+            Mitigator::MaskCheck(m) => m.update_views(views, time),
+        }
+    }
+
+    /// Time the strategy first intervened, if ever (recovery engagement,
+    /// de-rate episode, or evidence latch).
+    #[must_use]
+    pub fn first_activation_time(&self) -> Option<f64> {
+        match self {
+            Mitigator::Cusum(ml) => ml.first_activation_time(),
+            Mitigator::Ensemble(e) => e.first_activation_time(),
+            Mitigator::MaskCheck(m) => m.first_activation_time(),
+        }
+    }
+
+    /// How many intervention episodes have engaged.
+    #[must_use]
+    pub fn activation_count(&self) -> u64 {
+        match self {
+            Mitigator::Cusum(ml) => ml.activation_count(),
+            Mitigator::Ensemble(e) => e.activation_count(),
+            Mitigator::MaskCheck(m) => m.activation_count(),
+        }
+    }
+
+    /// Resets the runtime (new run) while keeping the trained weights.
+    pub fn reset(&mut self) {
+        match self {
+            Mitigator::Cusum(ml) => ml.reset(),
+            Mitigator::Ensemble(e) => e.reset(),
+            Mitigator::MaskCheck(m) => m.reset(),
+        }
+    }
+}
+
+impl From<MlMitigator> for Mitigator {
+    fn from(ml: MlMitigator) -> Self {
+        Mitigator::Cusum(ml)
+    }
+}
 
 /// Mitigation gate parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -271,6 +437,43 @@ mod tests {
             let _ = mit.update(&x, &pred, t as f64 * 0.01);
         }
         assert!(!mit.in_recovery());
+    }
+
+    #[test]
+    fn mitigation_kind_codes_and_names_roundtrip() {
+        for kind in MitigationKind::ALL {
+            assert_eq!(MitigationKind::from_code(kind.code()), Some(kind));
+            assert_eq!(MitigationKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(MitigationKind::from_code(3), None);
+        assert_eq!(MitigationKind::from_name("lstm"), None);
+        assert_eq!(
+            MitigationKind::from_name(" MaskCheck "),
+            Some(MitigationKind::MaskCheck)
+        );
+        assert_eq!(MitigationKind::default(), MitigationKind::Cusum);
+    }
+
+    #[test]
+    fn mitigator_seam_dispatches_by_kind() {
+        let mut mit = Mitigator::from(MlMitigator::new(small_model(), MitigationConfig::default()));
+        assert_eq!(mit.kind(), MitigationKind::Cusum);
+        assert!(!mit.wants_views());
+        assert!(mit.as_cusum_mut().is_some());
+        let ens = Mitigator::Ensemble(EnsembleMitigator::new(
+            small_model(),
+            crate::ensemble::EnsembleConfig::default(),
+            adas_simulator::DeterministicRng::from_seed(1),
+        ));
+        assert_eq!(ens.kind(), MitigationKind::Ensemble);
+        assert!(ens.wants_views());
+        let mask = Mitigator::MaskCheck(MaskCheckMitigator::new(
+            small_model(),
+            crate::maskcheck::MaskCheckConfig::default(),
+            adas_simulator::DeterministicRng::from_seed(2),
+        ));
+        assert_eq!(mask.kind(), MitigationKind::MaskCheck);
+        assert!(mask.wants_views());
     }
 
     #[test]

@@ -126,6 +126,8 @@ mod tests {
                     safety_check: true,
                     aebs: AebsMode::Independent,
                     ml: false,
+                    mitigation: 0,
+                    views: 0,
                 },
                 friction: adas_simulator::FrictionCondition::Default,
                 max_steps: 10_000,

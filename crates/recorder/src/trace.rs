@@ -26,6 +26,13 @@ pub struct InterventionSummary {
     pub aebs: AebsMode,
     /// ML mitigation enabled.
     pub ml: bool,
+    /// Mitigation-strategy wire code when [`Self::ml`] is set (0 = CUSUM
+    /// baseline, 1 = uncertainty ensemble, 2 = masked-view check). Kept as
+    /// a raw code so the recorder stays decoupled from `adas-ml`.
+    pub mitigation: u8,
+    /// Configured view count M for the view-based strategies (0 = strategy
+    /// default). Always 0 for the CUSUM baseline.
+    pub views: u8,
 }
 
 /// Everything needed to re-execute the recorded run and to verify the
@@ -281,7 +288,14 @@ impl Trace {
         sink.f64(h.interventions.driver_reaction_time);
         sink.u8(u8::from(h.interventions.safety_check));
         sink.u8(aebs_code(h.interventions.aebs));
-        sink.u8(u8::from(h.interventions.ml));
+        // Packed ML byte: 0 = ml off; else bits 0-1 carry 1 + strategy
+        // code and bits 2-7 the view count. The historic plain-bool
+        // encoding (byte 1 = CUSUM, views 0) decodes unchanged.
+        sink.u8(if h.interventions.ml {
+            1 + (h.interventions.mitigation & 0b11) + (h.interventions.views << 2)
+        } else {
+            0
+        });
         let (fc, fs) = friction_code(h.friction);
         sink.u8(fc);
         sink.f64(fs);
@@ -356,7 +370,22 @@ impl Trace {
         let driver_reaction_time = cur.f64()?;
         let safety_check = cur.u8()? != 0;
         let aebs = aebs_from_code(cur.u8()?)?;
-        let ml = cur.u8()? != 0;
+        let ml_byte = cur.u8()?;
+        let ml = ml_byte != 0;
+        let (mitigation, views) = if ml {
+            let strategy_bits = ml_byte & 0b11;
+            if strategy_bits == 0 {
+                // Views bits without a strategy: not a value any writer
+                // produces.
+                return Err(TraceError::BadCode {
+                    field: "ml_mitigation",
+                    code: ml_byte,
+                });
+            }
+            (strategy_bits - 1, ml_byte >> 2)
+        } else {
+            (0, 0)
+        };
         let fc = cur.u8()?;
         let fs = cur.f64()?;
         let friction = friction_from_code(fc, fs)?;
@@ -413,6 +442,8 @@ impl Trace {
                     safety_check,
                     aebs,
                     ml,
+                    mitigation,
+                    views,
                 },
                 friction,
                 max_steps,
@@ -539,6 +570,8 @@ mod tests {
                     safety_check: true,
                     aebs: AebsMode::Independent,
                     ml: false,
+                    mitigation: 0,
+                    views: 0,
                 },
                 friction: adas_simulator::FrictionCondition::Off25,
                 max_steps: 10_000,
@@ -638,6 +671,53 @@ mod tests {
         let loaded = Trace::load(&path).unwrap();
         assert_eq!(format!("{t:?}"), format!("{loaded:?}"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mitigation_variants_round_trip_in_ml_byte() {
+        // Every strategy × a spread of view counts survives the packed
+        // ML byte, and the legacy plain-bool encoding still decodes as
+        // the CUSUM baseline.
+        for (mitigation, views) in [(0u8, 0u8), (0, 1), (1, 0), (1, 8), (2, 6), (2, 63)] {
+            let mut t = sample_trace();
+            t.header.interventions.ml = true;
+            t.header.interventions.mitigation = mitigation;
+            t.header.interventions.views = views;
+            let d = Trace::from_bytes(&t.to_bytes()).unwrap();
+            assert_eq!(d.header.interventions.mitigation, mitigation);
+            assert_eq!(d.header.interventions.views, views);
+            assert!(d.header.interventions.ml);
+        }
+        // Distinct variants serialise to distinct bytes (and hence
+        // distinct content addresses for otherwise-identical traces).
+        let encode = |mitigation, views| {
+            let mut t = sample_trace();
+            t.header.interventions.ml = true;
+            t.header.interventions.mitigation = mitigation;
+            t.header.interventions.views = views;
+            t.content_hex()
+        };
+        assert_ne!(encode(0, 0), encode(1, 0));
+        assert_ne!(encode(1, 0), encode(2, 0));
+        assert_ne!(encode(1, 0), encode(1, 8));
+        // A views-without-strategy byte is rejected as corruption, not
+        // silently misread. Craft it by patching the serialised byte and
+        // re-stamping the checksum.
+        let mut t = sample_trace();
+        t.header.interventions.ml = true;
+        let mut bytes = t.to_bytes();
+        let ml_pos = TRACE_MAGIC.len() + 1 + 1 + 4 + 1 + 8 + 8 + 8 + 1 + 8 + 1 + 1;
+        assert_eq!(bytes[ml_pos], 1, "ml byte not where expected");
+        bytes[ml_pos] = 0b100; // views = 1, strategy bits = 0
+        let payload_len = bytes.len() - 8;
+        let mut sum = Checksum::new();
+        sum.update(&bytes[..payload_len]);
+        let sum = sum.value().to_le_bytes();
+        bytes[payload_len..].copy_from_slice(&sum);
+        match Trace::from_bytes(&bytes) {
+            Err(TraceError::BadCode { field, .. }) => assert_eq!(field, "ml_mitigation"),
+            other => panic!("expected BadCode, got {other:?}"),
+        }
     }
 
     #[test]

@@ -287,6 +287,8 @@ mod tests {
                 safety_check: false,
                 aebs: AebsMode::Disabled,
                 ml: false,
+                mitigation: 0,
+                views: 0,
             },
             friction: adas_simulator::FrictionCondition::Default,
             max_steps: 100,

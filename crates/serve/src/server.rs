@@ -61,6 +61,10 @@ pub struct ServerConfig {
     pub cache: ArtifactCache,
     /// Directory `Replay` requests resolve trace hashes in.
     pub trace_dir: PathBuf,
+    /// Architecture of the lazily trained resident models. Production
+    /// servers keep the paper's default; tests shrink it so an in-process
+    /// server trains in milliseconds.
+    pub model_spec: ModelSpec,
 }
 
 impl ServerConfig {
@@ -80,6 +84,7 @@ impl ServerConfig {
             .max(1),
             cache: ArtifactCache::from_env(),
             trace_dir: adas_core::env::path_or("ADAS_TRACE_DIR", "results/traces"),
+            model_spec: ModelSpec::default(),
         }
     }
 }
@@ -98,6 +103,8 @@ pub struct Shared {
     /// In-memory cell-result memo keyed by cell fingerprint — the warmest
     /// tier above the on-disk artifact cache.
     memo: Mutex<HashMap<u64, CellStats>>,
+    /// Architecture the resident models are trained at.
+    model_spec: ModelSpec,
     shutdown: AtomicBool,
     job_ids: AtomicU64,
 }
@@ -112,6 +119,7 @@ impl Shared {
             trace_dir: config.trace_dir,
             models: Mutex::new(HashMap::new()),
             memo: Mutex::new(HashMap::new()),
+            model_spec: config.model_spec,
             shutdown: AtomicBool::new(false),
             job_ids: AtomicU64::new(1),
         }
@@ -139,7 +147,7 @@ impl Shared {
         let model = Arc::new(adas_bench::trained_baseline_cached(
             &self.cache,
             campaign_seed,
-            ModelSpec::default(),
+            self.model_spec,
         ));
         self.metrics.model_train.record(t0.elapsed());
         self.models

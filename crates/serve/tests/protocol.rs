@@ -27,6 +27,11 @@ fn arb_cell(rng: &mut TestRng) -> CellSpec {
         1 => AebsMode::Compromised,
         _ => AebsMode::Independent,
     };
+    let mitigation = match rng.usize_in(0, 3) {
+        0 => adas_core::MitigationKind::Cusum,
+        1 => adas_core::MitigationKind::Ensemble,
+        _ => adas_core::MitigationKind::MaskCheck,
+    };
     CellSpec {
         fault,
         interventions: InterventionConfig {
@@ -35,6 +40,8 @@ fn arb_cell(rng: &mut TestRng) -> CellSpec {
             safety_check: rng.next_u64() & 1 == 1,
             aebs,
             ml: rng.next_u64() & 1 == 1,
+            mitigation,
+            views: (rng.next_u64() % u64::from(adas_core::MAX_VIEWS + 1)) as u8,
         },
     }
 }

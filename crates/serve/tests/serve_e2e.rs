@@ -41,6 +41,7 @@ fn start_server(
         queue_capacity,
         cache,
         trace_dir,
+        model_spec: adas_ml::ModelSpec::default(),
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
