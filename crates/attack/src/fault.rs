@@ -1,6 +1,7 @@
 //! The fault injector: applies patch effects to perception frames.
 
 use crate::patch::{CurvatureFault, RdFault};
+use crate::schedule::AttackScheduler;
 use adas_perception::PerceptionFrame;
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +63,10 @@ pub struct FaultSpec {
     pub rd: RdFault,
     /// Road patch parameters (used when `fault_type` targets curvature).
     pub curvature: CurvatureFault,
+    /// When the attacker lets the channels go live. `Immediate` is the
+    /// paper's fixed policy; `Context` holds everything back until a
+    /// vulnerability predicate fires (see [`AttackScheduler`]).
+    pub scheduler: AttackScheduler,
 }
 
 impl FaultSpec {
@@ -76,7 +81,15 @@ impl FaultSpec {
                 patch_start_s,
                 ..CurvatureFault::default()
             },
+            scheduler: AttackScheduler::Immediate,
         }
+    }
+
+    /// The same spec under a different scheduling policy.
+    #[must_use]
+    pub fn scheduled(mut self, scheduler: AttackScheduler) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 }
 
@@ -94,6 +107,13 @@ pub struct FaultContext {
     pub ego_d: f64,
     /// True bumper-to-bumper gap to the lead vehicle, if one exists.
     pub true_rd: Option<f64>,
+    /// Ground-truth time-to-collision with the lead, seconds. `None` when
+    /// there is no lead or the gap is opening. Context schedulers watch
+    /// this to time the attack.
+    pub ttc: Option<f64>,
+    /// Road reference-line curvature at the ego's position, 1/m. Context
+    /// schedulers use it to trigger on curve entry.
+    pub road_curvature: f64,
 }
 
 /// Stateful injector: tracks activation times for the mitigation-time
@@ -104,6 +124,7 @@ pub struct FaultInjector {
     rd_active: bool,
     curvature_started: Option<f64>,
     first_activation: Option<f64>,
+    fired: Option<f64>,
 }
 
 impl FaultInjector {
@@ -120,6 +141,7 @@ impl FaultInjector {
             rd_active: false,
             curvature_started: None,
             first_activation: None,
+            fired: None,
         }
     }
 
@@ -131,6 +153,7 @@ impl FaultInjector {
             rd_active: false,
             curvature_started: None,
             first_activation: None,
+            fired: None,
         }
     }
 
@@ -144,6 +167,13 @@ impl FaultInjector {
     #[must_use]
     pub fn first_activation_time(&self) -> Option<f64> {
         self.first_activation
+    }
+
+    /// Time a context scheduler's vulnerability predicate first fired, if
+    /// it has. Always `None` under `Immediate` scheduling.
+    #[must_use]
+    pub fn fired_time(&self) -> Option<f64> {
+        self.fired
     }
 
     /// True when any fault channel perturbed the last frame.
@@ -165,10 +195,29 @@ impl FaultInjector {
             self.rd_active = false;
             return false;
         };
+        // Scheduling gate. `Immediate` is always armed (the legacy path,
+        // byte-for-byte). A context scheduler arms nothing until its
+        // predicate first holds, then latches for the rest of the run —
+        // the predicate is never consulted again, so it fires at most
+        // once no matter how the world state evolves afterwards.
+        let armed = match spec.scheduler {
+            AttackScheduler::Immediate => true,
+            AttackScheduler::Context(trigger) => {
+                if self.fired.is_none()
+                    && trigger.fires(ctx.time, ctx.ttc, ctx.ego_d, ctx.road_curvature)
+                {
+                    self.fired = Some(ctx.time);
+                }
+                self.fired.is_some()
+            }
+        };
         let mut active = false;
 
         // --- Lead-vehicle patch: escalating RD offset -----------------------
         self.rd_active = false;
+        if !armed {
+            return false;
+        }
         if spec.fault_type.targets_distance() {
             if let (Some(true_rd), Some(lead)) = (ctx.true_rd, frame.lead.as_mut()) {
                 if let Some(offset) = spec.rd.offset(true_rd) {
@@ -232,6 +281,7 @@ impl FaultInjector {
         self.rd_active = false;
         self.curvature_started = None;
         self.first_activation = None;
+        self.fired = None;
     }
 }
 
@@ -257,6 +307,8 @@ mod tests {
             ego_s,
             ego_d: 0.0,
             true_rd,
+            ttc: None,
+            road_curvature: 0.0,
         }
     }
 
@@ -389,5 +441,89 @@ mod tests {
         inj.reset();
         assert!(inj.first_activation_time().is_none());
         assert!(!inj.is_active());
+    }
+
+    #[test]
+    fn context_scheduler_gates_both_channels_until_predicate_fires() {
+        use crate::schedule::{AttackScheduler, ContextTrigger};
+        let spec = FaultSpec::new(FaultType::Mixed, 150.0)
+            .scheduled(AttackScheduler::Context(ContextTrigger::ttc(3.0)));
+        let mut inj = FaultInjector::new(spec);
+        // World state not yet vulnerable: an Immediate attack would have
+        // perturbed both channels here (ego past patch, lead in RD range).
+        let mut f = frame_with_lead(50.0);
+        let mut c = ctx(1.0, 200.0, Some(50.0));
+        c.ttc = Some(8.0);
+        assert!(!inj.apply(&mut f, &c));
+        assert_eq!(f, frame_with_lead(50.0));
+        assert!(inj.fired_time().is_none());
+        assert!(inj.first_activation_time().is_none());
+        // TTC collapses: the latch fires and both channels go live.
+        let mut f2 = frame_with_lead(50.0);
+        let mut c2 = ctx(2.0, 220.0, Some(50.0));
+        c2.ttc = Some(2.5);
+        assert!(inj.apply(&mut f2, &c2));
+        assert_eq!(inj.fired_time(), Some(2.0));
+        assert!(f2.desired_curvature > 0.0);
+    }
+
+    #[test]
+    fn context_latch_fires_at_most_once_and_never_rearms() {
+        use crate::schedule::{AttackScheduler, ContextTrigger};
+        let spec = FaultSpec::new(FaultType::RelativeDistance, 1e9)
+            .scheduled(AttackScheduler::Context(ContextTrigger::ttc(3.0)));
+        let mut inj = FaultInjector::new(spec);
+        let mut f = frame_with_lead(50.0);
+        let mut c = ctx(1.0, 100.0, Some(50.0));
+        c.ttc = Some(2.0);
+        assert!(inj.apply(&mut f, &c));
+        assert_eq!(inj.fired_time(), Some(1.0));
+        // The world leaves the vulnerable region again — the latch holds
+        // and the fire time never moves.
+        for step in 2..10 {
+            let mut fs = frame_with_lead(50.0);
+            let mut cs = ctx(f64::from(step), 100.0, Some(50.0));
+            cs.ttc = Some(40.0);
+            assert!(inj.apply(&mut fs, &cs));
+            assert_eq!(inj.fired_time(), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn context_curvature_duration_is_anchored_at_fire_time() {
+        use crate::schedule::{AttackScheduler, ContextTrigger};
+        let mut spec = FaultSpec::new(FaultType::DesiredCurvature, 150.0)
+            .scheduled(AttackScheduler::Context(ContextTrigger::ttc(3.0)));
+        spec.curvature.duration = Some(2.0);
+        let mut inj = FaultInjector::new(spec);
+        // Ego passed the patch long ago, but the channel only starts when
+        // the predicate fires — so the duration window opens at t=10.
+        let mut c = ctx(10.0, 400.0, Some(30.0));
+        c.ttc = Some(1.0);
+        let mut f = frame_with_lead(30.0);
+        assert!(inj.apply(&mut f, &c));
+        let mut f2 = frame_with_lead(30.0);
+        assert!(inj.apply(&mut f2, &ctx(11.5, 430.0, Some(30.0))));
+        let mut f3 = frame_with_lead(30.0);
+        assert!(!inj.apply(&mut f3, &ctx(12.5, 450.0, Some(30.0))));
+        assert_eq!(f3.desired_curvature, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_the_context_latch() {
+        use crate::schedule::{AttackScheduler, ContextTrigger};
+        let spec = FaultSpec::new(FaultType::RelativeDistance, 1e9)
+            .scheduled(AttackScheduler::Context(ContextTrigger::ttc(3.0)));
+        let mut inj = FaultInjector::new(spec);
+        let mut f = frame_with_lead(50.0);
+        let mut c = ctx(1.0, 100.0, Some(50.0));
+        c.ttc = Some(2.0);
+        let _ = inj.apply(&mut f, &c);
+        assert!(inj.fired_time().is_some());
+        inj.reset();
+        assert!(inj.fired_time().is_none());
+        // After reset the gate is closed again until the predicate refires.
+        let mut f2 = frame_with_lead(50.0);
+        assert!(!inj.apply(&mut f2, &ctx(2.0, 100.0, Some(50.0))));
     }
 }

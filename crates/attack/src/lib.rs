@@ -26,6 +26,8 @@
 
 mod fault;
 mod patch;
+mod schedule;
 
 pub use fault::{FaultContext, FaultInjector, FaultSpec, FaultType};
 pub use patch::{rd_offset_for, CurvatureFault, RdFault, RD_TRIGGER_RANGE};
+pub use schedule::{AttackScheduler, ContextTrigger};

@@ -86,7 +86,11 @@ fn main() {
                 // bit-identical to the historic CUSUM baseline.
                 (iv.mitigation, iv.views) = adas_core::mitigation_from_env();
             }
-            let cfg = PlatformConfig::with_interventions(iv);
+            let mut cfg = PlatformConfig::with_interventions(iv);
+            // `ADAS_ATTACK` swaps the patch's fixed activation for a
+            // context trigger; the scheduler is part of the config Debug
+            // rendering, so non-default settings get their own cache keys.
+            cfg.attack = adas_core::attack_from_env();
             let key = campaign_cell_fingerprint(
                 Some(fault),
                 &cfg,

@@ -1,6 +1,7 @@
 //! Platform configuration: which interventions are enabled, environment
 //! conditions, and subsystem parameters.
 
+use adas_attack::AttackScheduler;
 use adas_control::AdasConfig;
 use adas_ml::MitigationKind;
 use adas_perception::PerceptionConfig;
@@ -252,7 +253,7 @@ impl Default for InterventionConfig {
 }
 
 /// Full platform configuration for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlatformConfig {
     /// Which safety interventions are active.
     pub interventions: InterventionConfig,
@@ -269,6 +270,31 @@ pub struct PlatformConfig {
     /// End the run early once the ego has been stationary this many steps
     /// (0 disables). Saves campaign time after a successful full stop.
     pub quiescence_steps: usize,
+    /// When the injected fault activates: immediately on its trigger
+    /// condition (the paper's fixed policy), or gated on a context-aware
+    /// vulnerability predicate over live world state (`ADAS_ATTACK`).
+    pub attack: AttackScheduler,
+}
+
+/// Cache keys and golden-trace fingerprints hash the `Debug` rendering of
+/// this struct. The `attack` field is appended only when it deviates from
+/// the immediate default, so every pre-scheduler configuration renders —
+/// and therefore fingerprints — exactly as it always has.
+impl std::fmt::Debug for PlatformConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("PlatformConfig");
+        s.field("interventions", &self.interventions)
+            .field("friction", &self.friction)
+            .field("max_steps", &self.max_steps)
+            .field("perception", &self.perception)
+            .field("adas", &self.adas)
+            .field("hazards", &self.hazards)
+            .field("quiescence_steps", &self.quiescence_steps);
+        if !self.attack.is_immediate() {
+            s.field("attack", &self.attack);
+        }
+        s.finish()
+    }
 }
 
 impl Default for PlatformConfig {
@@ -281,6 +307,7 @@ impl Default for PlatformConfig {
             adas: AdasConfig::default(),
             hazards: HazardConfig::default(),
             quiescence_steps: 300,
+            attack: AttackScheduler::Immediate,
         }
     }
 }
@@ -294,6 +321,19 @@ impl PlatformConfig {
             ..Self::default()
         }
     }
+}
+
+/// Reads the attack-scheduler knob from `ADAS_ATTACK`: `immediate` (or
+/// unset/empty) keeps the paper's fixed activation policy; a predicate
+/// like `ttc<2.5`, `lane>0.8`, `curv>0.002`, `arm>10` (comma-separated
+/// atoms AND together) selects Zhou et al.-style context-aware timing.
+/// Unparseable values fall back to immediate rather than aborting.
+#[must_use]
+pub fn attack_from_env() -> AttackScheduler {
+    std::env::var("ADAS_ATTACK")
+        .ok()
+        .and_then(|v| AttackScheduler::parse(&v))
+        .unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -354,6 +394,28 @@ mod tests {
         let mut ens12 = ens;
         ens12.views = 12;
         assert_ne!(format!("{ens12:?}"), format!("{ens:?}"));
+    }
+
+    #[test]
+    fn platform_debug_appends_attack_only_when_scheduled() {
+        // Same byte-stability contract as the interventions rendering: an
+        // immediate-attack config must render exactly as before the field
+        // existed (no `attack:` entry), so legacy fingerprints survive.
+        let legacy = PlatformConfig::default();
+        assert!(!format!("{legacy:?}").contains("attack"));
+        let mut scheduled = legacy;
+        scheduled.attack =
+            AttackScheduler::parse("ttc<2.5").expect("valid predicate");
+        let rendered = format!("{scheduled:?}");
+        assert!(rendered.contains("attack"), "{rendered}");
+        assert_ne!(format!("{legacy:?}"), rendered);
+    }
+
+    #[test]
+    fn attack_env_parses_or_falls_back() {
+        assert_eq!(AttackScheduler::parse("immediate"), Some(AttackScheduler::Immediate));
+        assert!(AttackScheduler::parse("ttc<2.0,arm>5").is_some());
+        assert_eq!(AttackScheduler::parse("bogus<1"), None);
     }
 
     #[test]

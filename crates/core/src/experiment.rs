@@ -68,7 +68,9 @@ pub(crate) fn build_platform(
     );
     let setup = ScenarioSetup::build(id.scenario, id.position, &mut setup_rng);
     let injector = match fault {
-        Some(ft) => FaultInjector::new(FaultSpec::new(ft, setup.patch_start_s)),
+        Some(ft) => FaultInjector::new(
+            FaultSpec::new(ft, setup.patch_start_s).scheduled(config.attack),
+        ),
         None => FaultInjector::disabled(),
     };
     let ml = make_mitigator(ml_model, config, &mut setup_rng);
@@ -428,10 +430,28 @@ impl CellStats {
     }
 }
 
+/// Digest of the active scenario catalog, but only when `ADAS_SCENARIO`
+/// actually changed it from the builtins. `None` in every default-catalog
+/// process, so all fingerprints minted before scenario overrides existed
+/// stay byte-identical; with an override in effect the digest keys cached
+/// cells to the replacement scenario content instead of silently serving
+/// results computed under the builtins.
+fn scenario_catalog_override() -> Option<u64> {
+    use adas_scenarios::ScenarioCatalog;
+    static OVERRIDE: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        let global = ScenarioCatalog::global().digest();
+        let builtin = ScenarioCatalog::builtin().map_or(global, |c| c.digest());
+        (global != builtin).then_some(global)
+    })
+}
+
 /// Content fingerprint of one campaign cell: everything [`run_campaign`] +
 /// [`CellStats::from_records`] depend on. `model` must be the fingerprint
 /// of the trained weights when `config.interventions.ml` is set (the cell
 /// result depends on the exact weights, not just the training seed).
+/// Scenario content participates via [`scenario_catalog_override`] when an
+/// `ADAS_SCENARIO` override is active.
 #[must_use]
 pub fn campaign_cell_fingerprint(
     fault: Option<FaultType>,
@@ -440,14 +460,18 @@ pub fn campaign_cell_fingerprint(
     campaign_seed: u64,
     repetitions: u32,
 ) -> Fingerprint {
-    Fingerprint::new()
+    let mut fp = Fingerprint::new()
         .write_str("campaign-cell-v1")
         .write_debug(&fault)
         .write_debug(config)
         .write_u64(model.map_or(0, Fingerprint::value))
         .write_u64(u64::from(model.is_some()))
         .write_u64(campaign_seed)
-        .write_u64(u64::from(repetitions))
+        .write_u64(u64::from(repetitions));
+    if let Some(digest) = scenario_catalog_override() {
+        fp = fp.write_str("scenario-catalog").write_u64(digest);
+    }
+    fp
 }
 
 /// Cache-through wrapper for a campaign cell's aggregate statistics: on a

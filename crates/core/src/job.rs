@@ -21,7 +21,7 @@ use adas_ml::MitigationKind;
 use crate::experiment::{
     campaign_cell_fingerprint, campaign_run_ids_masked, RunId, SCENARIO_MASK_ALL,
 };
-use adas_attack::FaultType;
+use adas_attack::{AttackScheduler, ContextTrigger, FaultType};
 use adas_safety::AebsMode;
 use adas_scenarios::{AccidentKind, InitialPosition, RunRecord, ScenarioId};
 
@@ -275,14 +275,19 @@ pub struct CampaignSpec {
     /// Scenario subset (bit `i` = `ScenarioId::ALL[i]`);
     /// [`SCENARIO_MASK_ALL`] sweeps the full S1–S6 grid.
     pub scenario_mask: u8,
+    /// Attack-scheduling policy every cell runs under. Immediate is the
+    /// paper's always-on patch; a context trigger holds the patch back
+    /// until the ego is in a vulnerable state (Zhou et al.).
+    pub attack: AttackScheduler,
     /// The cell grid, in submission (= streaming) order.
     pub cells: Vec<CellSpec>,
 }
 
 /// Version tag leading every serialised [`CampaignSpec`]. v2 widened the
 /// cell layout with the mitigation-strategy flag bits and a view-count
-/// byte; v1 frames are rejected rather than misparsed.
-const CAMPAIGN_SPEC_VERSION: u8 = 2;
+/// byte; v3 inserted the attack-scheduler block after the scenario mask.
+/// Older frames are rejected rather than misparsed.
+const CAMPAIGN_SPEC_VERSION: u8 = 3;
 
 impl CampaignSpec {
     /// A full-grid campaign (all scenarios, default run length).
@@ -293,6 +298,7 @@ impl CampaignSpec {
             repetitions,
             max_steps: 0,
             scenario_mask: SCENARIO_MASK_ALL,
+            attack: AttackScheduler::Immediate,
             cells,
         }
     }
@@ -323,6 +329,7 @@ impl CampaignSpec {
         if self.max_steps != 0 {
             config.max_steps = self.max_steps as usize;
         }
+        config.attack = self.attack;
         config
     }
 
@@ -374,6 +381,16 @@ impl CampaignSpec {
         out.u32(self.repetitions);
         out.u32(self.max_steps);
         out.u8(self.scenario_mask);
+        match self.attack {
+            AttackScheduler::Immediate => out.u8(0),
+            AttackScheduler::Context(t) => {
+                out.u8(1);
+                out.opt_f64(t.ttc_below);
+                out.opt_f64(t.lane_excursion_above);
+                out.opt_f64(t.curvature_above);
+                out.f64(t.arm_after);
+            }
+        }
         out.u16(u16::try_from(self.cells.len()).expect("≤ MAX_CELLS cells"));
         for cell in &self.cells {
             cell.encode(&mut out);
@@ -393,6 +410,30 @@ impl CampaignSpec {
         let repetitions = r.u32()?;
         let max_steps = r.u32()?;
         let scenario_mask = r.u8()?;
+        let attack = match r.u8()? {
+            0 => AttackScheduler::Immediate,
+            1 => {
+                let ttc_below = r.opt_f64()?;
+                let lane_excursion_above = r.opt_f64()?;
+                let curvature_above = r.opt_f64()?;
+                let arm_after = r.f64()?;
+                if !arm_after.is_finite() || arm_after < 0.0 {
+                    return None;
+                }
+                for atom in [ttc_below, lane_excursion_above, curvature_above] {
+                    if atom.is_some_and(|v| !v.is_finite()) {
+                        return None;
+                    }
+                }
+                AttackScheduler::Context(ContextTrigger {
+                    ttc_below,
+                    lane_excursion_above,
+                    curvature_above,
+                    arm_after,
+                })
+            }
+            _ => return None,
+        };
         let count = r.u16()? as usize;
         if count > MAX_CELLS {
             return None;
@@ -409,6 +450,7 @@ impl CampaignSpec {
             repetitions,
             max_steps,
             scenario_mask,
+            attack,
             cells,
         };
         spec.validate().then_some(spec)
@@ -493,6 +535,7 @@ mod tests {
             repetitions: 3,
             max_steps: 1500,
             scenario_mask: 0b001001, // S1 + S4
+            attack: AttackScheduler::Immediate,
             cells: vec![
                 CellSpec {
                     fault: None,
@@ -536,6 +579,27 @@ mod tests {
         let spec = sample_spec();
         let bytes = spec.to_bytes();
         assert_eq!(CampaignSpec::from_bytes(&bytes), Some(spec));
+    }
+
+    #[test]
+    fn scheduled_campaign_roundtrips_and_gets_fresh_keys() {
+        let mut spec = sample_spec();
+        spec.attack = AttackScheduler::Context(ContextTrigger::ttc(2.0));
+        assert_eq!(CampaignSpec::from_bytes(&spec.to_bytes()), Some(spec.clone()));
+        // A scheduled campaign is a different experiment from the immediate
+        // one: cache and routing keys must not collide with the legacy
+        // family (which itself stays byte-for-byte stable — the attack
+        // field only enters the config Debug rendering when non-default).
+        let immediate = sample_spec();
+        for cell in &spec.cells {
+            assert_eq!(spec.config_for(cell).attack, spec.attack);
+            assert_ne!(spec.cell_key(cell, None), immediate.cell_key(cell, None));
+            assert_ne!(spec.route_key(cell), immediate.route_key(cell));
+        }
+        // Non-finite trigger fields are malformed on the wire.
+        let mut bad = spec.clone();
+        bad.attack = AttackScheduler::Context(ContextTrigger::ttc(f64::NAN));
+        assert_eq!(CampaignSpec::from_bytes(&bad.to_bytes()), None);
     }
 
     #[test]

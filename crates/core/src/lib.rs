@@ -55,7 +55,7 @@ pub use cache::{fingerprint_dataset, ArtifactCache, CacheStats, Fingerprint};
 /// Mitigation-strategy selector and model architecture, re-exported so
 /// downstream crates can name them without a direct `adas-ml` edge.
 pub use adas_ml::{MitigationKind, ModelSpec};
-pub use config::{mitigation_from_env, InterventionConfig, PlatformConfig, MAX_VIEWS};
+pub use config::{attack_from_env, mitigation_from_env, InterventionConfig, PlatformConfig, MAX_VIEWS};
 pub use experiment::{
     campaign_cell_fingerprint, campaign_run_ids, campaign_run_ids_masked, cell_stats_cached,
     collect_training_data, run_campaign, run_campaign_with_width, run_ids_ctl, run_single,

@@ -90,6 +90,9 @@ impl Platform {
         for npc in &setup.npcs {
             world.add_npc(npc.clone());
         }
+        for zone in &setup.friction_zones {
+            world.add_friction_zone(*zone);
+        }
 
         let iv = config.interventions;
         Self {
@@ -188,13 +191,19 @@ impl Platform {
         let mut frame = self.perception.perceive(&self.world);
         let clean_rd = frame.lead.map(|l| l.distance);
         let clean_kappa = frame.desired_curvature;
+        let ego_s = self.world.ego().state().s;
         let fault_active = self.injector.apply(
             &mut frame,
             &FaultContext {
                 time,
-                ego_s: self.world.ego().state().s,
+                ego_s,
                 ego_d: self.world.ego().state().d,
                 true_rd: truth.map(|o| o.distance),
+                // Live world state for the context-aware attack scheduler:
+                // the attacker watches the same quantities the victim's
+                // sensors expose.
+                ttc: truth.map(|o| o.ttc()),
+                road_curvature: self.world.road().curvature_at(ego_s),
             },
         );
 

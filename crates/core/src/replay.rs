@@ -99,6 +99,7 @@ pub fn trace_header(
         max_steps: config.max_steps as u64,
         quiescence_steps: config.quiescence_steps as u64,
         first_step: 0,
+        attack: config.attack,
     }
 }
 
@@ -120,6 +121,7 @@ pub fn reconstruct_config(header: &TraceHeader) -> PlatformConfig {
         friction: header.friction,
         max_steps: usize::try_from(header.max_steps).unwrap_or(usize::MAX),
         quiescence_steps: usize::try_from(header.quiescence_steps).unwrap_or(usize::MAX),
+        attack: header.attack,
         ..PlatformConfig::default()
     }
 }
@@ -149,7 +151,9 @@ pub fn run_traced(
     );
     let setup = ScenarioSetup::build(id.scenario, id.position, &mut setup_rng);
     let injector = match header.fault {
-        Some(ft) => FaultInjector::new(FaultSpec::new(ft, setup.patch_start_s)),
+        Some(ft) => FaultInjector::new(
+            FaultSpec::new(ft, setup.patch_start_s).scheduled(config.attack),
+        ),
         None => FaultInjector::disabled(),
     };
     let ml = make_mitigator(ml_model, config, &mut setup_rng);

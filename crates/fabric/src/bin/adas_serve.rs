@@ -18,7 +18,9 @@
 //!
 //! Campaign flags (submit/bench): `--seed N` (default 2025), `--reps N`
 //! (default 10), `--max-steps N` (0 = full runs), `--scenarios S1,S4|all`,
-//! `--faults none,rd,dc,mixed|all`, `--rows none,driver-check,…|all`.
+//! `--faults none,rd,dc,mixed|all`, `--rows none,driver-check,…|all`,
+//! `--attack immediate|ttc<S,lane>M,curv>K,arm>S` (default `ADAS_ATTACK`
+//! or immediate).
 //!
 //! Defaults come from `ADAS_SERVE_ADDR` / `ADAS_SERVE_QUEUE` and the
 //! `ADAS_FABRIC_*` family where a flag is not given. Exit codes: 0
@@ -264,6 +266,11 @@ fn campaign_from_flags(args: &mut Vec<String>) -> Result<CampaignSpec, String> {
             mask
         }
     };
+    let attack = match take_flag(args, "--attack")? {
+        Some(s) => adas_attack::AttackScheduler::parse(&s)
+            .ok_or_else(|| format!("--attack: unknown schedule `{s}`"))?,
+        None => adas_core::config::attack_from_env(),
+    };
     let faults = parse_faults(take_flag(args, "--faults")?.as_deref().unwrap_or("all"))?;
     let rows = parse_rows(take_flag(args, "--rows")?.as_deref().unwrap_or("none,driver-check"))?;
     let cells: Vec<CellSpec> = faults
@@ -280,6 +287,7 @@ fn campaign_from_flags(args: &mut Vec<String>) -> Result<CampaignSpec, String> {
         repetitions: reps,
         max_steps,
         scenario_mask,
+        attack,
         cells,
     };
     if !spec.validate() {

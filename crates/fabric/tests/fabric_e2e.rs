@@ -69,6 +69,7 @@ fn sharded_spec() -> CampaignSpec {
         repetitions: 2,
         max_steps: 1200,
         scenario_mask: 0b00_1001,
+        attack: adas_attack::AttackScheduler::Immediate,
         cells: vec![
             CellSpec {
                 fault: Some(FaultType::RelativeDistance),
@@ -208,6 +209,7 @@ fn mitigation_cells_shard_bit_identically_to_direct_and_single_daemon() {
         repetitions: 1,
         max_steps: 900,
         scenario_mask: 0b00_1001,
+        attack: adas_attack::AttackScheduler::Immediate,
         cells: vec![
             CellSpec {
                 fault: Some(FaultType::RelativeDistance),
@@ -348,6 +350,13 @@ fn killed_worker_cells_are_redispatched_without_duplicates() {
         order,
         "merge order is grid order — no duplicates, no reordering"
     );
+    // The monitor sweeps on its own thread: when the victim's buffered
+    // results covered its whole shard, death is only noticed by the next
+    // failed heartbeat, which can land just after the campaign returns.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while coordinator.fleet.workers[0].is_alive() && std::time::Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(25));
+    }
     assert!(
         !coordinator.fleet.workers[0].is_alive(),
         "the killed worker must be marked dead"
@@ -393,6 +402,7 @@ fn garbage_frames_never_wedge_worker_or_coordinator() {
         repetitions: 1,
         max_steps: 600,
         scenario_mask: 0b1,
+        attack: adas_attack::AttackScheduler::Immediate,
         cells: vec![CellSpec {
             fault: Some(FaultType::RelativeDistance),
             interventions: InterventionConfig::driver_and_check(),

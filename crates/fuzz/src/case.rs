@@ -1,6 +1,6 @@
 //! One point in the fuzzer's search space, and its deterministic execution.
 
-use adas_attack::{FaultInjector, FaultSpec, FaultType};
+use adas_attack::{AttackScheduler, ContextTrigger, FaultInjector, FaultSpec, FaultType};
 use adas_core::replay::trace_header;
 use adas_core::{Platform, PlatformConfig, RunEnd, RunEnd2, RunId};
 use adas_core::{Fingerprint, InterventionConfig};
@@ -27,6 +27,10 @@ pub const ATTACK_DURATION_RANGE: (f64, f64) = (2.0, 40.0);
 pub const ATTACK_INTENSITY_RANGE: (f64, f64) = (0.25, 3.0);
 /// Inclusive clamp range for [`FuzzCase::trigger_offset`], metres.
 pub const TRIGGER_OFFSET_RANGE: (f64, f64) = (-10.0, 10.0);
+/// Inclusive clamp range for [`FuzzCase::sched_ttc`], seconds. 0 keeps the
+/// paper's immediate (always-armed) attack; positive values hold the patch
+/// back until ground-truth TTC first drops to the threshold.
+pub const SCHED_TTC_RANGE: (f64, f64) = (0.0, 8.0);
 
 /// Intervention rows the fuzzer explores: Table VI rows 0–6 (everything
 /// except the ML row, which needs trained weights).
@@ -41,7 +45,7 @@ fn clamp(v: f64, range: (f64, f64)) -> f64 {
 
 /// One fuzz case: discrete grid coordinates plus continuous overrides on
 /// top of the scenario's own per-repetition jitter.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct FuzzCase {
     /// NHTSA scenario.
     pub scenario: ScenarioId,
@@ -69,6 +73,36 @@ pub struct FuzzCase {
     /// Added to every NPC trigger threshold (gap metres / event seconds),
     /// shifting when leads brake, cut in, or change lanes.
     pub trigger_offset: f64,
+    /// Context-aware attack scheduling (Zhou et al.): 0 = the paper's
+    /// always-armed patch, > 0 = hold the patch back until ground-truth
+    /// TTC first drops to this many seconds.
+    pub sched_ttc: f64,
+}
+
+// Manual Debug: the legacy fields render exactly as the old derive did and
+// `sched_ttc` is appended only when the scheduler is active, so the
+// `fingerprint()` of every pre-scheduler case — and therefore the file
+// stems of committed repros — stay byte-identical.
+impl std::fmt::Debug for FuzzCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("FuzzCase");
+        s.field("scenario", &self.scenario)
+            .field("position", &self.position)
+            .field("iv_row", &self.iv_row)
+            .field("fault", &self.fault)
+            .field("repetition", &self.repetition)
+            .field("ego_speed_delta", &self.ego_speed_delta)
+            .field("friction", &self.friction)
+            .field("attack_start_offset", &self.attack_start_offset)
+            .field("attack_duration", &self.attack_duration)
+            .field("attack_intensity", &self.attack_intensity)
+            .field("attack_direction", &self.attack_direction)
+            .field("trigger_offset", &self.trigger_offset);
+        if self.sched_ttc != 0.0 {
+            s.field("sched_ttc", &self.sched_ttc);
+        }
+        s.finish()
+    }
 }
 
 impl FuzzCase {
@@ -94,6 +128,7 @@ impl FuzzCase {
             attack_intensity: 1.0,
             attack_direction: 1.0,
             trigger_offset: 0.0,
+            sched_ttc: 0.0,
         }
     }
 
@@ -109,6 +144,7 @@ impl FuzzCase {
         self.attack_intensity = clamp(self.attack_intensity, ATTACK_INTENSITY_RANGE);
         self.attack_direction = if self.attack_direction < 0.0 { -1.0 } else { 1.0 };
         self.trigger_offset = clamp(self.trigger_offset, TRIGGER_OFFSET_RANGE);
+        self.sched_ttc = clamp(self.sched_ttc, SCHED_TTC_RANGE);
         self
     }
 
@@ -125,6 +161,7 @@ impl FuzzCase {
             attack_start_offset: mix(from.attack_start_offset, self.attack_start_offset),
             attack_duration: mix(from.attack_duration, self.attack_duration),
             attack_intensity: mix(from.attack_intensity, self.attack_intensity),
+            sched_ttc: mix(from.sched_ttc, self.sched_ttc),
             ..*self
         }
         .clamped()
@@ -143,6 +180,11 @@ impl FuzzCase {
             interventions: self.interventions(),
             friction: FrictionCondition::Custom(self.friction),
             max_steps: FUZZ_MAX_STEPS,
+            attack: if self.sched_ttc > 0.0 {
+                AttackScheduler::Context(ContextTrigger::ttc(self.sched_ttc))
+            } else {
+                AttackScheduler::Immediate
+            },
             ..PlatformConfig::default()
         }
     }
@@ -162,6 +204,7 @@ impl FuzzCase {
             | (self.position.index() as u64) << 7
             | ((self.iv_row % IV_ROWS) as u64) << 4
             | fault << 2
+            | u64::from(self.sched_ttc > 0.0)
     }
 
     /// Stable fingerprint of the full case (discrete + continuous), used
@@ -251,7 +294,7 @@ pub(crate) fn case_platform(case: &FuzzCase, seed: u64, config: &PlatformConfig)
 
     let injector = match case.fault {
         Some(ft) => {
-            let mut spec = FaultSpec::new(ft, setup.patch_start_s);
+            let mut spec = FaultSpec::new(ft, setup.patch_start_s).scheduled(config.attack);
             spec.rd.offset_scale = case.attack_intensity;
             spec.curvature.deviation *= case.attack_intensity;
             spec.curvature.direction = case.attack_direction;
@@ -350,6 +393,35 @@ mod tests {
         let (r2, t2) = run_case(&c, 99);
         assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
         assert!(adas_recorder::diff_traces(&t1, &t2).is_identical());
+    }
+
+    #[test]
+    fn legacy_fingerprints_survive_the_scheduler_field() {
+        // The Debug rendering (and therefore `fingerprint()`, and therefore
+        // committed repro file stems) of an unscheduled case must not
+        // mention the new field; a scheduled case must.
+        let c = case();
+        assert_eq!(c.sched_ttc, 0.0);
+        assert!(!format!("{c:?}").contains("sched_ttc"));
+        let mut s = case();
+        s.sched_ttc = 2.5;
+        assert!(format!("{s:?}").contains("sched_ttc"));
+        assert_ne!(c.fingerprint(), s.fingerprint());
+    }
+
+    #[test]
+    fn scheduler_reaches_the_config_and_the_cell_key() {
+        let mut s = case();
+        s.sched_ttc = 3.0;
+        assert!(case().config().attack.is_immediate());
+        match s.config().attack {
+            AttackScheduler::Context(t) => assert_eq!(t.ttc_below, Some(3.0)),
+            AttackScheduler::Immediate => panic!("scheduled case lost its trigger"),
+        }
+        // Scheduling moves the case to a different grid cell (bit 0), so
+        // findings and benign neighbours never mix the two attack modes.
+        assert_ne!(case().cell_key(), s.cell_key());
+        assert_eq!(case().cell_key() | 1, s.cell_key());
     }
 
     #[test]

@@ -16,7 +16,8 @@ use crate::case::{
 };
 use crate::coverage::Signature;
 use crate::oracle::{
-    check_metamorphic, check_regression, check_trace, severity, OracleKind, Violation,
+    check_metamorphic, check_regression, check_schedule_dominance, check_trace, severity,
+    OracleKind, Violation,
 };
 use crate::shrink::shrink;
 use adas_attack::FaultType;
@@ -143,6 +144,18 @@ fn evaluate_with_primary(
                 violations.push(v);
                 break;
             }
+        }
+    }
+
+    if case.sched_ttc > 0.0 && case.fault.is_some() {
+        // Compare against the identical case with the always-armed patch:
+        // a strictly worse outcome means the context trigger dominates.
+        let mut immediate = *case;
+        immediate.sched_ttc = 0.0;
+        let (immediate_record, _) = run_case(&immediate, seed);
+        runs_used += 1;
+        if let Some(v) = check_schedule_dominance(&record, &immediate_record) {
+            violations.push(v);
         }
     }
 
@@ -302,7 +315,7 @@ fn mutate(rng: &mut DeterministicRng, corpus: &BTreeMap<Signature, CorpusEntry>)
     }
     let tweaks = 1 + rng.next_u64() % 3;
     for _ in 0..tweaks {
-        match rng.next_u64() % 8 {
+        match rng.next_u64() % 9 {
             0 => case.ego_speed_delta += rng.gaussian(2.0),
             1 => case.friction += rng.gaussian(0.15),
             2 => case.attack_start_offset += rng.gaussian(40.0),
@@ -310,6 +323,15 @@ fn mutate(rng: &mut DeterministicRng, corpus: &BTreeMap<Signature, CorpusEntry>)
             4 => case.attack_intensity += rng.gaussian(0.4),
             5 => case.attack_direction = -case.attack_direction,
             6 => case.trigger_offset += rng.gaussian(3.0),
+            7 => {
+                // Toggle/retune the context trigger: off → a mid-range TTC
+                // threshold, on → wander (the clamp floor at 0 disarms it).
+                case.sched_ttc = if case.sched_ttc > 0.0 {
+                    case.sched_ttc + rng.gaussian(1.0)
+                } else {
+                    2.5 + rng.gaussian(1.0)
+                };
+            }
             _ => case.ego_speed_delta += rng.gaussian(0.5),
         }
     }

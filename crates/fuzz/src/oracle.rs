@@ -35,16 +35,22 @@ pub enum OracleKind {
     /// Shifting the road patch further away keeps the physics prefix
     /// bit-identical up to the original patch position.
     MetamorphicShift,
+    /// A context-scheduled patch (armed only once the ego is already in a
+    /// vulnerable state) must never produce a *strictly worse* outcome than
+    /// the same patch always-on: if it does, strategic timing defeats an
+    /// intervention stack that handled the naive attack (Zhou et al.).
+    ScheduleDominance,
 }
 
 impl OracleKind {
     /// All oracle families.
-    pub const ALL: [OracleKind; 5] = [
+    pub const ALL: [OracleKind; 6] = [
         OracleKind::AebNoAccel,
         OracleKind::ArbiterPriority,
         OracleKind::HazardOrdering,
         OracleKind::InterventionRegression,
         OracleKind::MetamorphicShift,
+        OracleKind::ScheduleDominance,
     ];
 
     /// Stable kebab-case name (used in repro files).
@@ -56,6 +62,7 @@ impl OracleKind {
             OracleKind::HazardOrdering => "hazard-ordering",
             OracleKind::InterventionRegression => "intervention-regression",
             OracleKind::MetamorphicShift => "metamorphic-shift",
+            OracleKind::ScheduleDominance => "schedule-dominance",
         }
     }
 
@@ -74,6 +81,7 @@ impl OracleKind {
             OracleKind::HazardOrdering => 2,
             OracleKind::InterventionRegression => 3,
             OracleKind::MetamorphicShift => 4,
+            OracleKind::ScheduleDominance => 5,
         }
     }
 }
@@ -237,6 +245,29 @@ pub fn check_regression(
             "disabling {channel} improves the outcome: severity {} ({:?}) with it, \
              {} ({:?}) without",
             with, base.accident, without, ablated.accident
+        ),
+    })
+}
+
+/// Schedule-dominance oracle: `scheduled` ran with the patch held back by
+/// a context trigger, `immediate` is the same case with the always-armed
+/// attack. A strictly higher severity under scheduling means the
+/// strategically-timed patch dominates the fixed one — the intervention
+/// stack survives the naive attack but not the context-aware variant.
+#[must_use]
+pub fn check_schedule_dominance(
+    scheduled: &RunRecord,
+    immediate: &RunRecord,
+) -> Option<Violation> {
+    let s = severity(scheduled);
+    let i = severity(immediate);
+    (s > i).then(|| Violation {
+        oracle: OracleKind::ScheduleDominance,
+        step: None,
+        detail: format!(
+            "context-scheduled patch dominates the immediate one: severity {s} \
+             ({:?}) scheduled vs {i} ({:?}) immediate",
+            scheduled.accident, immediate.accident
         ),
     })
 }
@@ -457,6 +488,26 @@ mod tests {
             // And the strategy helping must stay silent.
             assert!(check_regression(&clean, channel, &crash).is_none());
         }
+    }
+
+    #[test]
+    fn schedule_dominance_fires_only_on_strict_escalation() {
+        let crash = RunRecord {
+            accident: Some(AccidentKind::ForwardCollision),
+            ..RunRecord::default()
+        };
+        let lane = RunRecord {
+            accident: Some(AccidentKind::LaneViolation),
+            ..RunRecord::default()
+        };
+        let clean = RunRecord::default();
+        let v = check_schedule_dominance(&crash, &clean).expect("must fire");
+        assert_eq!(v.oracle, OracleKind::ScheduleDominance);
+        assert!(check_schedule_dominance(&crash, &lane).is_some());
+        // Equal or lower severity under scheduling must stay silent.
+        assert!(check_schedule_dominance(&crash, &crash).is_none());
+        assert!(check_schedule_dominance(&clean, &crash).is_none());
+        assert!(check_schedule_dominance(&lane, &crash).is_none());
     }
 
     #[test]

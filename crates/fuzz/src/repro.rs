@@ -138,6 +138,7 @@ impl Repro {
         let _ = writeln!(s, "attack_intensity = {:?}", c.attack_intensity);
         let _ = writeln!(s, "attack_direction = {:?}", c.attack_direction);
         let _ = writeln!(s, "trigger_offset = {:?}", c.trigger_offset);
+        let _ = writeln!(s, "sched_ttc = {:?}", c.sched_ttc);
         s
     }
 
@@ -193,6 +194,12 @@ impl Repro {
             attack_intensity: f64_of("attack_intensity")?,
             attack_direction: f64_of("attack_direction")?,
             trigger_offset: f64_of("trigger_offset")?,
+            // Absent in pre-scheduler repro files: default to the paper's
+            // immediate attack so committed findings keep replaying.
+            sched_ttc: match get.get("sched_ttc") {
+                Some(_) => f64_of("sched_ttc")?,
+                None => 0.0,
+            },
         };
         Ok(Repro {
             case,
@@ -330,6 +337,22 @@ mod tests {
         assert!(Repro::from_toml(&broken).is_err());
         let missing = good.replace("friction", "fricshun");
         assert!(Repro::from_toml(&missing).is_err());
+    }
+
+    #[test]
+    fn pre_scheduler_repro_files_still_parse() {
+        // A file written before the `sched_ttc` key existed must load with
+        // the immediate-attack default, not error.
+        let r = sample();
+        let legacy: String = r
+            .to_toml()
+            .lines()
+            .filter(|l| !l.starts_with("sched_ttc"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = Repro::from_toml(&legacy).unwrap();
+        assert_eq!(parsed.case.sched_ttc, 0.0);
+        assert_eq!(parsed, r);
     }
 
     #[test]

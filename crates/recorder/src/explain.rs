@@ -133,6 +133,7 @@ mod tests {
                 max_steps: 10_000,
                 quiescence_steps: 300,
                 first_step: 0,
+                attack: adas_attack::AttackScheduler::Immediate,
             },
             samples: vec![TraceSample {
                 time: 10.0,

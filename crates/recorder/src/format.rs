@@ -27,6 +27,12 @@ use adas_simulator::{FrictionCondition, TraceSample};
 /// decoding to garbage.
 pub const TRACE_MAGIC: &[u8; 8] = b"ADASTRC\x01";
 
+/// Version-2 magic: identical layout to v1 plus an attack-scheduler block
+/// right after the magic. The writer emits v2 **only** when the scheduler
+/// deviates from the immediate default, so every legacy run — and its
+/// content address — keeps its exact v1 bytes; the reader accepts both.
+pub const TRACE_MAGIC_V2: &[u8; 8] = b"ADASTRC\x02";
+
 /// FNV-1a offset basis (shared constant of the workspace's fingerprinting).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a prime.

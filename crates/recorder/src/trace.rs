@@ -4,9 +4,9 @@ use crate::format::{
     accident_code, accident_from_code, aebs_code, aebs_from_code, decode_sample, encode_sample,
     fault_code, fault_from_code, friction_code, friction_from_code, position_code,
     position_from_code, scenario_code, scenario_from_code, ByteSink, Checksum, Cursor, TraceError,
-    SAMPLE_WIRE_SIZE, TRACE_MAGIC,
+    SAMPLE_WIRE_SIZE, TRACE_MAGIC, TRACE_MAGIC_V2,
 };
-use adas_attack::FaultType;
+use adas_attack::{AttackScheduler, ContextTrigger, FaultType};
 use adas_safety::{AebsMode, InterventionKind};
 use adas_scenarios::{AccidentKind, InitialPosition, ScenarioId};
 use adas_simulator::TraceSample;
@@ -67,6 +67,10 @@ pub struct TraceHeader {
     /// Step index of the first retained sample (> 0 when a bounded ring
     /// buffer dropped the beginning of a long run).
     pub first_step: u64,
+    /// Attack-scheduling policy the run executed under. Immediate (the
+    /// default) serialises as a v1 file, byte-identical to pre-scheduler
+    /// recordings; a context policy switches the file to the v2 magic.
+    pub attack: AttackScheduler,
 }
 
 /// A discrete event derived from the step stream: an intervention or fault
@@ -273,7 +277,16 @@ impl Trace {
             + self.events.len() * 17
             + 64;
         let mut sink = ByteSink::with_capacity(cap);
-        sink.bytes(TRACE_MAGIC);
+        match self.header.attack {
+            AttackScheduler::Immediate => sink.bytes(TRACE_MAGIC),
+            AttackScheduler::Context(t) => {
+                sink.bytes(TRACE_MAGIC_V2);
+                sink.opt_f64(t.ttc_below);
+                sink.opt_f64(t.lane_excursion_above);
+                sink.opt_f64(t.curvature_above);
+                sink.f64(t.arm_after);
+            }
+        }
 
         // Header.
         let h = &self.header;
@@ -345,7 +358,8 @@ impl Trace {
             return Err(TraceError::BadMagic);
         }
         let (payload, sum_bytes) = bytes.split_at(bytes.len() - 8);
-        if !payload.starts_with(TRACE_MAGIC) {
+        let v2 = payload.starts_with(TRACE_MAGIC_V2);
+        if !v2 && !payload.starts_with(TRACE_MAGIC) {
             return Err(TraceError::BadMagic);
         }
         let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
@@ -359,6 +373,16 @@ impl Trace {
         }
 
         let mut cur = Cursor::new(&payload[TRACE_MAGIC.len()..]);
+        let attack = if v2 {
+            AttackScheduler::Context(ContextTrigger {
+                ttc_below: cur.opt_f64()?,
+                lane_excursion_above: cur.opt_f64()?,
+                curvature_above: cur.opt_f64()?,
+                arm_after: cur.f64()?,
+            })
+        } else {
+            AttackScheduler::Immediate
+        };
         let scenario = scenario_from_code(cur.u8()?)?;
         let position = position_from_code(cur.u8()?)?;
         let repetition = cur.u32()?;
@@ -449,6 +473,7 @@ impl Trace {
                 max_steps,
                 quiescence_steps,
                 first_step,
+                attack,
             },
             samples,
             events,
@@ -577,6 +602,7 @@ mod tests {
                 max_steps: 10_000,
                 quiescence_steps: 300,
                 first_step: 0,
+                attack: AttackScheduler::Immediate,
             },
             samples,
             events: vec![
@@ -611,6 +637,34 @@ mod tests {
         // NaN != NaN under PartialEq; compare through Debug which renders
         // NaN stably.
         assert_eq!(format!("{t:?}"), format!("{d:?}"));
+    }
+
+    #[test]
+    fn immediate_attack_serialises_as_v1() {
+        let bytes = sample_trace().to_bytes();
+        assert!(bytes.starts_with(TRACE_MAGIC));
+        // The scenario byte must sit directly after the magic — no
+        // scheduler block is present in a v1 file.
+        assert_eq!(bytes[TRACE_MAGIC.len()], scenario_code(ScenarioId::S3));
+    }
+
+    #[test]
+    fn scheduled_attack_round_trips_through_v2() {
+        let mut t = sample_trace();
+        t.header.attack = AttackScheduler::Context(ContextTrigger {
+            ttc_below: Some(2.25),
+            lane_excursion_above: None,
+            curvature_above: Some(1.0 / 900.0),
+            arm_after: 5.0,
+        });
+        let bytes = t.to_bytes();
+        assert!(bytes.starts_with(TRACE_MAGIC_V2));
+        let d = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(d.header.attack, t.header.attack);
+        assert_eq!(format!("{t:?}"), format!("{d:?}"));
+        // The content address must differ from the immediate rendering of
+        // the same run: scheduling is part of the trace identity.
+        assert_ne!(d.content_hex(), sample_trace().content_hex());
     }
 
     #[test]

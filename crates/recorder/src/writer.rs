@@ -294,6 +294,7 @@ mod tests {
             max_steps: 100,
             quiescence_steps: 0,
             first_step: 0,
+            attack: adas_attack::AttackScheduler::Immediate,
         }
     }
 

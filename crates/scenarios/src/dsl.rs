@@ -1,0 +1,1995 @@
+//! Declarative scenario DSL: `.scn` files.
+//!
+//! A `.scn` file is a TOML-subset document describing a traffic world —
+//! road geometry (or one of the builtin highway maps), scripted NPC
+//! vehicles with phase plans (cut-in, cut-out, stop-and-go, merges),
+//! per-segment friction bands, and the adversarial road-patch placement.
+//! Files compile into the same [`ScenarioSetup`] the hard-coded S1–S6
+//! constructors produce, so every consumer (campaign runner, fuzzer,
+//! serve daemon, fabric coordinator) loads them interchangeably.
+//!
+//! Numeric fields accept either a bare number or a quoted *expression*
+//! over `+ - * /`, parentheses, named variables, and four functions:
+//!
+//! * `mph(x)` — miles-per-hour to m/s,
+//! * `gauss(std)` — zero-mean gaussian draw from the run's RNG stream,
+//! * `uniform(lo, hi)` — uniform draw in `[lo, hi)`,
+//! * `pos(near, far)` — selects by the run's [`InitialPosition`].
+//!
+//! Expressions are evaluated in a **fixed document order** (road first —
+//! it never draws — then `ego_start_s`, `ego_speed`, each `[vars]` entry
+//! in order, each `[[npc]]`'s `s`/`d`/`speed` then its phases, then
+//! `[patch]`), delegating every draw to [`DeterministicRng`], so a DSL
+//! scenario that mirrors a hard-coded constructor's draw order is
+//! *bit-identical* to it.
+//!
+//! Parsing never panics: malformed input yields a typed [`ScnError`]
+//! carrying the offending line number.
+
+use crate::scenario::{InitialPosition, ScenarioId, ScenarioSetup};
+use adas_simulator::{
+    units::mph, DeterministicRng, FrictionZone, Npc, NpcBehavior, NpcPlan, NpcTrigger,
+    RoadBuilder, VehicleParams,
+};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// Maximum expression nesting depth — guards against stack overflow on
+/// adversarial inputs like `((((((...`.
+const MAX_EXPR_DEPTH: usize = 64;
+
+/// Variable names bound by the compiler before user `[vars]` evaluate;
+/// user variables may not shadow them (nor the function names).
+const RESERVED_NAMES: [&str; 8] = [
+    "gap",
+    "lane_width",
+    "ego_start_s",
+    "ego_speed",
+    "mph",
+    "gauss",
+    "uniform",
+    "pos",
+];
+
+/// A parse or compile error, anchored to a line of the source document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScnError {
+    /// 1-based line number in the `.scn` source.
+    pub line: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ScnError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ScnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScnError {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Func {
+    Mph,
+    Gauss,
+    Uniform,
+    Pos,
+}
+
+impl Func {
+    fn arity(self) -> usize {
+        match self {
+            Func::Mph | Func::Gauss => 1,
+            Func::Uniform | Func::Pos => 2,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Func::Mph => "mph",
+            Func::Gauss => "gauss",
+            Func::Uniform => "uniform",
+            Func::Pos => "pos",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Num(f64),
+    Var(String),
+    Neg(Box<Expr>),
+    Bin(Op, Box<Expr>, Box<Expr>),
+    Call(Func, Vec<Expr>),
+}
+
+/// A numeric field holding a parsed expression plus its source text, so
+/// documents re-render exactly as written.
+#[derive(Debug, Clone)]
+pub struct ExprField {
+    expr: Expr,
+    src: String,
+    quoted: bool,
+    line: usize,
+}
+
+impl PartialEq for ExprField {
+    /// Line numbers are presentation, not content — two fields are equal
+    /// when their expression and source text agree, wherever they sit.
+    fn eq(&self, other: &Self) -> bool {
+        self.expr == other.expr && self.src == other.src && self.quoted == other.quoted
+    }
+}
+
+impl ExprField {
+    /// A bare literal field (used when synthesising documents in code).
+    #[must_use]
+    pub fn number(value: f64) -> Self {
+        Self {
+            expr: Expr::Num(value),
+            src: format!("{value:?}"),
+            quoted: false,
+            line: 0,
+        }
+    }
+
+    /// A quoted expression field, parsed from `src`.
+    pub fn expression(src: &str) -> Result<Self, ScnError> {
+        let expr = parse_expression(src, 0)?;
+        Ok(Self {
+            expr,
+            src: src.to_string(),
+            quoted: true,
+            line: 0,
+        })
+    }
+
+    /// The source text as written in the document.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn tokenize(src: &str, line: usize) -> Result<Vec<Token>, ScnError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len() && matches!(bytes[i] as char, '0'..='9' | '.') {
+                    i += 1;
+                }
+                // Optional exponent: e[+-]?digits.
+                if i < bytes.len() && matches!(bytes[i] as char, 'e' | 'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && matches!(bytes[j] as char, '+' | '-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| ScnError::new(line, format!("malformed number `{text}`")))?;
+                if !value.is_finite() {
+                    return Err(ScnError::new(line, format!("non-finite number `{text}`")));
+                }
+                tokens.push(Token::Num(value));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(ScnError::new(
+                    line,
+                    format!("unexpected character `{other}` in expression"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct ExprParser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    line: usize,
+}
+
+impl ExprParser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ScnError> {
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            _ => Err(ScnError::new(self.line, format!("expected {what}"))),
+        }
+    }
+
+    fn additive(&mut self, depth: usize) -> Result<Expr, ScnError> {
+        self.check_depth(depth)?;
+        let mut lhs = self.multiplicative(depth + 1)?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => Op::Add,
+                Some(Token::Minus) => Op::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative(depth + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self, depth: usize) -> Result<Expr, ScnError> {
+        self.check_depth(depth)?;
+        let mut lhs = self.unary(depth + 1)?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => Op::Mul,
+                Some(Token::Slash) => Op::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary(depth + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self, depth: usize) -> Result<Expr, ScnError> {
+        self.check_depth(depth)?;
+        if matches!(self.peek(), Some(Token::Minus)) {
+            self.pos += 1;
+            return Ok(Expr::Neg(Box::new(self.unary(depth + 1)?)));
+        }
+        self.primary(depth + 1)
+    }
+
+    fn primary(&mut self, depth: usize) -> Result<Expr, ScnError> {
+        self.check_depth(depth)?;
+        match self.bump().cloned() {
+            Some(Token::Num(v)) => Ok(Expr::Num(v)),
+            Some(Token::LParen) => {
+                let inner = self.additive(depth + 1)?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    self.pos += 1;
+                    let func = match name.as_str() {
+                        "mph" => Func::Mph,
+                        "gauss" => Func::Gauss,
+                        "uniform" => Func::Uniform,
+                        "pos" => Func::Pos,
+                        other => {
+                            return Err(ScnError::new(
+                                self.line,
+                                format!("unknown function `{other}`"),
+                            ));
+                        }
+                    };
+                    let mut args = Vec::new();
+                    if matches!(self.peek(), Some(Token::RParen)) {
+                        self.pos += 1;
+                    } else {
+                        loop {
+                            args.push(self.additive(depth + 1)?);
+                            match self.bump() {
+                                Some(Token::Comma) => continue,
+                                Some(Token::RParen) => break,
+                                _ => {
+                                    return Err(ScnError::new(
+                                        self.line,
+                                        "expected `,` or `)` in argument list",
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    if args.len() != func.arity() {
+                        return Err(ScnError::new(
+                            self.line,
+                            format!(
+                                "`{}` takes {} argument(s), got {}",
+                                func.name(),
+                                func.arity(),
+                                args.len()
+                            ),
+                        ));
+                    }
+                    Ok(Expr::Call(func, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => Err(ScnError::new(self.line, "expected a value in expression")),
+        }
+    }
+
+    fn check_depth(&self, depth: usize) -> Result<(), ScnError> {
+        if depth > MAX_EXPR_DEPTH {
+            return Err(ScnError::new(self.line, "expression too deeply nested"));
+        }
+        Ok(())
+    }
+}
+
+fn parse_expression(src: &str, line: usize) -> Result<Expr, ScnError> {
+    let tokens = tokenize(src, line)?;
+    if tokens.is_empty() {
+        return Err(ScnError::new(line, "empty expression"));
+    }
+    let mut p = ExprParser {
+        tokens: &tokens,
+        pos: 0,
+        line,
+    };
+    let expr = p.additive(0)?;
+    if p.pos != tokens.len() {
+        return Err(ScnError::new(
+            line,
+            "trailing tokens after expression".to_string(),
+        ));
+    }
+    Ok(expr)
+}
+
+/// Evaluation context: the bound variables so far, the run's RNG stream,
+/// and the position used by `pos(near, far)`.
+struct EvalContext<'a> {
+    vars: Vec<(String, f64)>,
+    rng: &'a mut DeterministicRng,
+    position: InitialPosition,
+}
+
+impl EvalContext<'_> {
+    fn lookup(&self, name: &str) -> Option<f64> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    fn eval(&mut self, expr: &Expr) -> Result<f64, String> {
+        match expr {
+            Expr::Num(v) => Ok(*v),
+            Expr::Var(name) => self
+                .lookup(name)
+                .ok_or_else(|| format!("unknown variable `{name}`")),
+            Expr::Neg(inner) => Ok(-self.eval(inner)?),
+            Expr::Bin(op, lhs, rhs) => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                Ok(match op {
+                    Op::Add => l + r,
+                    Op::Sub => l - r,
+                    Op::Mul => l * r,
+                    Op::Div => l / r,
+                })
+            }
+            Expr::Call(func, args) => match func {
+                Func::Mph => Ok(mph(self.eval(&args[0])?)),
+                Func::Gauss => {
+                    let std = self.eval(&args[0])?;
+                    Ok(self.rng.gaussian(std))
+                }
+                Func::Uniform => {
+                    let lo = self.eval(&args[0])?;
+                    let hi = self.eval(&args[1])?;
+                    Ok(self.rng.uniform(lo, hi))
+                }
+                Func::Pos => {
+                    // Both arms evaluate (they are literals in practice);
+                    // the draw-free guarantee is documented, not enforced.
+                    let near = self.eval(&args[0])?;
+                    let far = self.eval(&args[1])?;
+                    Ok(match self.position {
+                        InitialPosition::Near => near,
+                        InitialPosition::Far => far,
+                    })
+                }
+            },
+        }
+    }
+
+    fn eval_field(&mut self, field: &ExprField) -> Result<f64, ScnError> {
+        let value = self
+            .eval(&field.expr)
+            .map_err(|e| ScnError::new(field.line, format!("in `{}`: {e}", field.src)))?;
+        if !value.is_finite() {
+            return Err(ScnError::new(
+                field.line,
+                format!("`{}` evaluated to a non-finite value", field.src),
+            ));
+        }
+        Ok(value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Document model
+// ---------------------------------------------------------------------------
+
+/// Which road geometry the scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoadKind {
+    /// The builtin highway paired with the run's [`InitialPosition`]
+    /// (straight for Near, curvy for Far) — what S1–S6 use.
+    Position,
+    /// A single straight of `length` metres.
+    Straight,
+    /// The builtin curvy-highway pattern truncated at `length` metres.
+    Curvy,
+    /// Explicit `[[road.segment]]` entries.
+    Segments,
+}
+
+/// Road description from the `[road]` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadSpec {
+    /// Geometry family.
+    pub kind: RoadKind,
+    /// Total length for `straight`/`curvy`, metres.
+    pub length: Option<f64>,
+    /// Lane width override, metres.
+    pub lane_width: Option<f64>,
+    /// Lane count override.
+    pub lane_count: Option<u8>,
+    /// Explicit segments for `kind = "segments"`.
+    pub segments: Vec<SegmentSpec>,
+}
+
+/// One `[[road.segment]]` entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentSpec {
+    /// Segment length, metres.
+    pub length: f64,
+    /// Signed arc radius, metres (positive turns left). Exclusive with
+    /// `curvature`.
+    pub radius: Option<f64>,
+    /// Signed curvature 1/R, 1/m. Exclusive with `radius`.
+    pub curvature: Option<f64>,
+    /// Friction multiplier over this segment; `1.0`/absent means dry base.
+    pub friction: Option<f64>,
+}
+
+/// One `[[npc]]` entry: spawn state plus scripted phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpcSpec {
+    /// Spawn arc length, metres.
+    pub s: ExprField,
+    /// Spawn lateral offset, metres.
+    pub d: ExprField,
+    /// Spawn (and initial cruise) speed, m/s.
+    pub speed: ExprField,
+    /// Ordered phases.
+    pub phases: Vec<PhaseSpec>,
+}
+
+/// Phase trigger kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// Fires at the start of the run.
+    Immediately,
+    /// Fires when simulation time reaches the threshold, seconds.
+    AtTime,
+    /// Fires when the bumper gap to the ego drops below the threshold, m.
+    GapBelow,
+}
+
+/// One `[[npc.phase]]` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Activation condition.
+    pub trigger: TriggerKind,
+    /// Trigger threshold; `None` only for `immediately`.
+    pub threshold: Option<ExprField>,
+    /// What the NPC does once triggered.
+    pub behavior: BehaviorSpec,
+}
+
+/// Phase behaviour with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BehaviorSpec {
+    /// Track a target speed.
+    SetSpeed {
+        /// Target speed, m/s.
+        target: ExprField,
+        /// Accel/decel magnitude used to reach it, m/s².
+        rate: ExprField,
+    },
+    /// Brake to a standstill.
+    Stop {
+        /// Braking deceleration magnitude, m/s².
+        decel: ExprField,
+    },
+    /// Move laterally to a target offset.
+    MoveLateral {
+        /// Target lateral offset, metres.
+        target_d: ExprField,
+        /// Manoeuvre duration, seconds.
+        duration: ExprField,
+    },
+}
+
+/// One standalone `[[friction]]` band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneSpec {
+    /// Band start arc length, metres.
+    pub start_s: f64,
+    /// Band end arc length (exclusive), metres.
+    pub end_s: f64,
+    /// Friction multiplier inside the band.
+    pub scale: f64,
+}
+
+/// A parsed `.scn` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDoc {
+    /// Scenario name (e.g. `"S1"` or `"platoon-stop-and-go"`).
+    pub name: String,
+    /// One-line human description (may be empty).
+    pub summary: String,
+    /// Road geometry.
+    pub road: RoadSpec,
+    /// Ego spawn arc length.
+    pub ego_start_s: ExprField,
+    /// Ego spawn/cruise speed, m/s.
+    pub ego_speed: ExprField,
+    /// Named intermediate values, evaluated in order (draws happen here).
+    pub vars: Vec<(String, ExprField)>,
+    /// Scripted traffic.
+    pub npcs: Vec<NpcSpec>,
+    /// Road-patch arc length; absent means "far beyond the drive" (no
+    /// draws are consumed).
+    pub patch_start_s: Option<ExprField>,
+    /// Standalone friction bands (appended after segment-derived bands).
+    pub zones: Vec<ZoneSpec>,
+}
+
+// ---------------------------------------------------------------------------
+// Document parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Scenario,
+    Vars,
+    Road,
+    RoadSegment,
+    Npc,
+    Phase,
+    Patch,
+    Friction,
+}
+
+#[derive(Default)]
+struct PartialRoad {
+    header_line: usize,
+    kind: Option<(RoadKind, usize)>,
+    length: Option<f64>,
+    lane_width: Option<f64>,
+    lane_count: Option<u8>,
+}
+
+struct PartialSegment {
+    header_line: usize,
+    length: Option<f64>,
+    radius: Option<f64>,
+    curvature: Option<f64>,
+    friction: Option<f64>,
+}
+
+struct PartialNpc {
+    header_line: usize,
+    s: Option<ExprField>,
+    d: Option<ExprField>,
+    speed: Option<ExprField>,
+    phases: Vec<PartialPhase>,
+}
+
+struct PartialPhase {
+    header_line: usize,
+    trigger: Option<TriggerKind>,
+    threshold: Option<ExprField>,
+    behavior: Option<(String, usize)>,
+    target: Option<ExprField>,
+    rate: Option<ExprField>,
+    decel: Option<ExprField>,
+    target_d: Option<ExprField>,
+    duration: Option<ExprField>,
+}
+
+struct PartialZone {
+    header_line: usize,
+    start_s: Option<f64>,
+    end_s: Option<f64>,
+    scale: Option<f64>,
+}
+
+/// Strips a `#` comment that sits outside any quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_quote = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quote => escaped = true,
+            '"' => in_quote = !in_quote,
+            '#' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Unescapes a quoted string body (only `\"` and `\\` are recognised).
+fn unquote(value: &str, line: usize) -> Result<String, ScnError> {
+    let inner = &value[1..];
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    loop {
+        match chars.next() {
+            Some('"') => {
+                let rest: String = chars.collect();
+                if !rest.trim().is_empty() {
+                    return Err(ScnError::new(line, "trailing text after closing quote"));
+                }
+                return Ok(out);
+            }
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                _ => return Err(ScnError::new(line, "unsupported escape sequence")),
+            },
+            Some(c) => out.push(c),
+            None => return Err(ScnError::new(line, "unterminated string")),
+        }
+    }
+}
+
+enum Value {
+    Str(String),
+    Bare(String),
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, ScnError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(ScnError::new(line, "missing value after `=`"));
+    }
+    if raw.starts_with('"') {
+        Ok(Value::Str(unquote(raw, line)?))
+    } else {
+        Ok(Value::Bare(raw.to_string()))
+    }
+}
+
+fn bare_number(text: &str, line: usize) -> Result<f64, ScnError> {
+    let v: f64 = text
+        .trim()
+        .parse()
+        .map_err(|_| ScnError::new(line, format!("expected a number, got `{}`", text.trim())))?;
+    if !v.is_finite() {
+        return Err(ScnError::new(line, "number must be finite"));
+    }
+    Ok(v)
+}
+
+/// Parses a numeric field value: a bare number or a quoted expression.
+fn expr_field(value: Value, line: usize) -> Result<ExprField, ScnError> {
+    match value {
+        Value::Bare(text) => {
+            let v = bare_number(&text, line)?;
+            Ok(ExprField {
+                expr: Expr::Num(v),
+                src: text.trim().to_string(),
+                quoted: false,
+                line,
+            })
+        }
+        Value::Str(src) => {
+            let expr = parse_expression(&src, line)?;
+            Ok(ExprField {
+                expr,
+                src,
+                quoted: true,
+                line,
+            })
+        }
+    }
+}
+
+fn number_field(value: Value, line: usize) -> Result<f64, ScnError> {
+    match value {
+        Value::Bare(text) => bare_number(&text, line),
+        Value::Str(_) => Err(ScnError::new(line, "expected a number, not a string")),
+    }
+}
+
+fn string_field(value: Value, line: usize) -> Result<String, ScnError> {
+    match value {
+        Value::Str(s) => Ok(s),
+        Value::Bare(_) => Err(ScnError::new(line, "expected a quoted string")),
+    }
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, key: &str, line: usize) -> Result<(), ScnError> {
+    if slot.is_some() {
+        return Err(ScnError::new(line, format!("duplicate key `{key}`")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn is_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl ScenarioDoc {
+    /// Parses a `.scn` document. Never panics; every failure is a typed
+    /// [`ScnError`] with the offending line number.
+    pub fn parse(text: &str) -> Result<Self, ScnError> {
+        let mut section = Section::None;
+        let mut name: Option<String> = None;
+        let mut summary: Option<String> = None;
+        let mut ego_start_s: Option<ExprField> = None;
+        let mut ego_speed: Option<ExprField> = None;
+        let mut vars: Vec<(String, ExprField)> = Vec::new();
+        let mut road: Option<PartialRoad> = None;
+        let mut segments: Vec<PartialSegment> = Vec::new();
+        let mut npcs: Vec<PartialNpc> = Vec::new();
+        let mut patch: Option<(usize, Option<ExprField>)> = None;
+        let mut zones: Vec<PartialZone> = Vec::new();
+        let mut scenario_line = 0usize;
+        let mut vars_seen = false;
+
+        for (idx, raw_line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+
+            if let Some(header) = line.strip_prefix("[[") {
+                let Some(sect) = header.strip_suffix("]]") else {
+                    return Err(ScnError::new(lineno, "malformed section header"));
+                };
+                match sect.trim() {
+                    "road.segment" => {
+                        segments.push(PartialSegment {
+                            header_line: lineno,
+                            length: None,
+                            radius: None,
+                            curvature: None,
+                            friction: None,
+                        });
+                        section = Section::RoadSegment;
+                    }
+                    "npc" => {
+                        npcs.push(PartialNpc {
+                            header_line: lineno,
+                            s: None,
+                            d: None,
+                            speed: None,
+                            phases: Vec::new(),
+                        });
+                        section = Section::Npc;
+                    }
+                    "npc.phase" => {
+                        let Some(npc) = npcs.last_mut() else {
+                            return Err(ScnError::new(
+                                lineno,
+                                "[[npc.phase]] before any [[npc]]",
+                            ));
+                        };
+                        npc.phases.push(PartialPhase {
+                            header_line: lineno,
+                            trigger: None,
+                            threshold: None,
+                            behavior: None,
+                            target: None,
+                            rate: None,
+                            decel: None,
+                            target_d: None,
+                            duration: None,
+                        });
+                        section = Section::Phase;
+                    }
+                    "friction" => {
+                        zones.push(PartialZone {
+                            header_line: lineno,
+                            start_s: None,
+                            end_s: None,
+                            scale: None,
+                        });
+                        section = Section::Friction;
+                    }
+                    other => {
+                        return Err(ScnError::new(
+                            lineno,
+                            format!("unknown section `[[{other}]]`"),
+                        ));
+                    }
+                }
+                continue;
+            }
+
+            if let Some(header) = line.strip_prefix('[') {
+                let Some(sect) = header.strip_suffix(']') else {
+                    return Err(ScnError::new(lineno, "malformed section header"));
+                };
+                section = match sect.trim() {
+                    "scenario" => {
+                        if scenario_line != 0 {
+                            return Err(ScnError::new(lineno, "duplicate [scenario] section"));
+                        }
+                        scenario_line = lineno;
+                        Section::Scenario
+                    }
+                    "vars" => {
+                        if vars_seen {
+                            return Err(ScnError::new(lineno, "duplicate [vars] section"));
+                        }
+                        vars_seen = true;
+                        Section::Vars
+                    }
+                    "road" => {
+                        if road.is_some() {
+                            return Err(ScnError::new(lineno, "duplicate [road] section"));
+                        }
+                        road = Some(PartialRoad {
+                            header_line: lineno,
+                            ..PartialRoad::default()
+                        });
+                        Section::Road
+                    }
+                    "patch" => {
+                        if patch.is_some() {
+                            return Err(ScnError::new(lineno, "duplicate [patch] section"));
+                        }
+                        patch = Some((lineno, None));
+                        Section::Patch
+                    }
+                    other => {
+                        return Err(ScnError::new(lineno, format!("unknown section `[{other}]`")));
+                    }
+                };
+                continue;
+            }
+
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ScnError::new(lineno, "expected `key = value`"));
+            };
+            let key = key.trim();
+            let value = parse_value(value, lineno)?;
+
+            match section {
+                Section::None => {
+                    return Err(ScnError::new(lineno, "key outside any section"));
+                }
+                Section::Scenario => match key {
+                    "name" => set_once(&mut name, string_field(value, lineno)?, key, lineno)?,
+                    "summary" => set_once(&mut summary, string_field(value, lineno)?, key, lineno)?,
+                    "ego_start_s" => {
+                        set_once(&mut ego_start_s, expr_field(value, lineno)?, key, lineno)?;
+                    }
+                    "ego_speed" => {
+                        set_once(&mut ego_speed, expr_field(value, lineno)?, key, lineno)?;
+                    }
+                    other => {
+                        return Err(ScnError::new(
+                            lineno,
+                            format!("unknown key `{other}` in [scenario]"),
+                        ));
+                    }
+                },
+                Section::Vars => {
+                    if !is_ident(key) {
+                        return Err(ScnError::new(
+                            lineno,
+                            format!("invalid variable name `{key}`"),
+                        ));
+                    }
+                    if RESERVED_NAMES.contains(&key) {
+                        return Err(ScnError::new(
+                            lineno,
+                            format!("variable name `{key}` is reserved"),
+                        ));
+                    }
+                    if vars.iter().any(|(n, _)| n == key) {
+                        return Err(ScnError::new(lineno, format!("duplicate variable `{key}`")));
+                    }
+                    vars.push((key.to_string(), expr_field(value, lineno)?));
+                }
+                Section::Road => {
+                    let r = road.as_mut().expect("road section active");
+                    match key {
+                        "kind" => {
+                            if r.kind.is_some() {
+                                return Err(ScnError::new(lineno, "duplicate key `kind`"));
+                            }
+                            let text = string_field(value, lineno)?;
+                            let kind = match text.as_str() {
+                                "position" => RoadKind::Position,
+                                "straight" => RoadKind::Straight,
+                                "curvy" => RoadKind::Curvy,
+                                "segments" => RoadKind::Segments,
+                                other => {
+                                    return Err(ScnError::new(
+                                        lineno,
+                                        format!("unknown road kind `{other}`"),
+                                    ));
+                                }
+                            };
+                            r.kind = Some((kind, lineno));
+                        }
+                        "length" => {
+                            set_once(&mut r.length, number_field(value, lineno)?, key, lineno)?;
+                        }
+                        "lane_width" => {
+                            set_once(&mut r.lane_width, number_field(value, lineno)?, key, lineno)?;
+                        }
+                        "lane_count" => {
+                            let v = number_field(value, lineno)?;
+                            if v.fract() != 0.0 || !(1.0..=8.0).contains(&v) {
+                                return Err(ScnError::new(
+                                    lineno,
+                                    "lane_count must be an integer in 1..=8",
+                                ));
+                            }
+                            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                            set_once(&mut r.lane_count, v as u8, key, lineno)?;
+                        }
+                        other => {
+                            return Err(ScnError::new(
+                                lineno,
+                                format!("unknown key `{other}` in [road]"),
+                            ));
+                        }
+                    }
+                }
+                Section::RoadSegment => {
+                    let seg = segments.last_mut().expect("segment section active");
+                    match key {
+                        "length" => {
+                            set_once(&mut seg.length, number_field(value, lineno)?, key, lineno)?;
+                        }
+                        "radius" => {
+                            set_once(&mut seg.radius, number_field(value, lineno)?, key, lineno)?;
+                        }
+                        "curvature" => {
+                            set_once(&mut seg.curvature, number_field(value, lineno)?, key, lineno)?;
+                        }
+                        "friction" => {
+                            set_once(&mut seg.friction, number_field(value, lineno)?, key, lineno)?;
+                        }
+                        other => {
+                            return Err(ScnError::new(
+                                lineno,
+                                format!("unknown key `{other}` in [[road.segment]]"),
+                            ));
+                        }
+                    }
+                }
+                Section::Npc => {
+                    let npc = npcs.last_mut().expect("npc section active");
+                    match key {
+                        "s" => set_once(&mut npc.s, expr_field(value, lineno)?, key, lineno)?,
+                        "d" => set_once(&mut npc.d, expr_field(value, lineno)?, key, lineno)?,
+                        "speed" => {
+                            set_once(&mut npc.speed, expr_field(value, lineno)?, key, lineno)?;
+                        }
+                        other => {
+                            return Err(ScnError::new(
+                                lineno,
+                                format!("unknown key `{other}` in [[npc]]"),
+                            ));
+                        }
+                    }
+                }
+                Section::Phase => {
+                    let phase = npcs
+                        .last_mut()
+                        .and_then(|n| n.phases.last_mut())
+                        .expect("phase section active");
+                    match key {
+                        "trigger" => {
+                            if phase.trigger.is_some() {
+                                return Err(ScnError::new(lineno, "duplicate key `trigger`"));
+                            }
+                            let text = string_field(value, lineno)?;
+                            phase.trigger = Some(match text.as_str() {
+                                "immediately" => TriggerKind::Immediately,
+                                "at_time" => TriggerKind::AtTime,
+                                "gap_below" => TriggerKind::GapBelow,
+                                other => {
+                                    return Err(ScnError::new(
+                                        lineno,
+                                        format!("unknown trigger `{other}`"),
+                                    ));
+                                }
+                            });
+                        }
+                        "threshold" => {
+                            set_once(&mut phase.threshold, expr_field(value, lineno)?, key, lineno)?;
+                        }
+                        "behavior" => {
+                            if phase.behavior.is_some() {
+                                return Err(ScnError::new(lineno, "duplicate key `behavior`"));
+                            }
+                            let text = string_field(value, lineno)?;
+                            if !matches!(text.as_str(), "set_speed" | "stop" | "move_lateral") {
+                                return Err(ScnError::new(
+                                    lineno,
+                                    format!("unknown behavior `{text}`"),
+                                ));
+                            }
+                            phase.behavior = Some((text, lineno));
+                        }
+                        "target" => {
+                            set_once(&mut phase.target, expr_field(value, lineno)?, key, lineno)?;
+                        }
+                        "rate" => {
+                            set_once(&mut phase.rate, expr_field(value, lineno)?, key, lineno)?;
+                        }
+                        "decel" => {
+                            set_once(&mut phase.decel, expr_field(value, lineno)?, key, lineno)?;
+                        }
+                        "target_d" => {
+                            set_once(&mut phase.target_d, expr_field(value, lineno)?, key, lineno)?;
+                        }
+                        "duration" => {
+                            set_once(&mut phase.duration, expr_field(value, lineno)?, key, lineno)?;
+                        }
+                        other => {
+                            return Err(ScnError::new(
+                                lineno,
+                                format!("unknown key `{other}` in [[npc.phase]]"),
+                            ));
+                        }
+                    }
+                }
+                Section::Patch => {
+                    let p = patch.as_mut().expect("patch section active");
+                    match key {
+                        "start_s" => {
+                            if p.1.is_some() {
+                                return Err(ScnError::new(lineno, "duplicate key `start_s`"));
+                            }
+                            p.1 = Some(expr_field(value, lineno)?);
+                        }
+                        other => {
+                            return Err(ScnError::new(
+                                lineno,
+                                format!("unknown key `{other}` in [patch]"),
+                            ));
+                        }
+                    }
+                }
+                Section::Friction => {
+                    let z = zones.last_mut().expect("friction section active");
+                    match key {
+                        "start_s" => {
+                            set_once(&mut z.start_s, number_field(value, lineno)?, key, lineno)?;
+                        }
+                        "end_s" => {
+                            set_once(&mut z.end_s, number_field(value, lineno)?, key, lineno)?;
+                        }
+                        "scale" => {
+                            set_once(&mut z.scale, number_field(value, lineno)?, key, lineno)?;
+                        }
+                        other => {
+                            return Err(ScnError::new(
+                                lineno,
+                                format!("unknown key `{other}` in [[friction]]"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Finalise + validate -----------------------------------------
+        if scenario_line == 0 {
+            return Err(ScnError::new(1, "missing [scenario] section"));
+        }
+        let name = name.ok_or_else(|| ScnError::new(scenario_line, "missing `name`"))?;
+        let ego_start_s =
+            ego_start_s.ok_or_else(|| ScnError::new(scenario_line, "missing `ego_start_s`"))?;
+        let ego_speed =
+            ego_speed.ok_or_else(|| ScnError::new(scenario_line, "missing `ego_speed`"))?;
+
+        let road = {
+            let r = road.ok_or_else(|| ScnError::new(1, "missing [road] section"))?;
+            let (kind, kind_line) = r
+                .kind
+                .ok_or_else(|| ScnError::new(r.header_line, "missing `kind` in [road]"))?;
+            if kind != RoadKind::Segments {
+                if let Some(seg) = segments.first() {
+                    return Err(ScnError::new(
+                        seg.header_line,
+                        "[[road.segment]] requires `kind = \"segments\"`",
+                    ));
+                }
+            }
+            match kind {
+                RoadKind::Position => {
+                    if r.length.is_some() || r.lane_width.is_some() || r.lane_count.is_some() {
+                        return Err(ScnError::new(
+                            kind_line,
+                            "`position` roads take no length/lane overrides",
+                        ));
+                    }
+                }
+                RoadKind::Straight | RoadKind::Curvy => {
+                    let len = r
+                        .length
+                        .ok_or_else(|| ScnError::new(kind_line, "missing road `length`"))?;
+                    if len <= 0.0 {
+                        return Err(ScnError::new(kind_line, "road `length` must be positive"));
+                    }
+                }
+                RoadKind::Segments => {
+                    if r.length.is_some() {
+                        return Err(ScnError::new(
+                            kind_line,
+                            "`segments` roads derive length from their segments",
+                        ));
+                    }
+                    if segments.is_empty() {
+                        return Err(ScnError::new(
+                            kind_line,
+                            "`segments` road needs at least one [[road.segment]]",
+                        ));
+                    }
+                }
+            }
+            if let Some(w) = r.lane_width {
+                if w <= 0.0 {
+                    return Err(ScnError::new(r.header_line, "lane_width must be positive"));
+                }
+            }
+            let mut specs = Vec::with_capacity(segments.len());
+            for seg in &segments {
+                let length = seg
+                    .length
+                    .ok_or_else(|| ScnError::new(seg.header_line, "segment missing `length`"))?;
+                if length <= 0.0 {
+                    return Err(ScnError::new(
+                        seg.header_line,
+                        "segment length must be positive",
+                    ));
+                }
+                if seg.radius.is_some() && seg.curvature.is_some() {
+                    return Err(ScnError::new(
+                        seg.header_line,
+                        "segment takes `radius` or `curvature`, not both",
+                    ));
+                }
+                if seg.radius == Some(0.0) {
+                    return Err(ScnError::new(seg.header_line, "radius must be non-zero"));
+                }
+                if seg.curvature == Some(0.0) {
+                    return Err(ScnError::new(
+                        seg.header_line,
+                        "zero curvature: omit the key for a straight segment",
+                    ));
+                }
+                if let Some(f) = seg.friction {
+                    if f <= 0.0 || f > 10.0 {
+                        return Err(ScnError::new(
+                            seg.header_line,
+                            "segment friction must be in (0, 10]",
+                        ));
+                    }
+                }
+                specs.push(SegmentSpec {
+                    length,
+                    radius: seg.radius,
+                    curvature: seg.curvature,
+                    friction: seg.friction,
+                });
+            }
+            RoadSpec {
+                kind,
+                length: r.length,
+                lane_width: r.lane_width,
+                lane_count: r.lane_count,
+                segments: specs,
+            }
+        };
+
+        let mut npc_specs = Vec::with_capacity(npcs.len());
+        for npc in &npcs {
+            let s = npc
+                .s
+                .clone()
+                .ok_or_else(|| ScnError::new(npc.header_line, "npc missing `s`"))?;
+            let d = npc
+                .d
+                .clone()
+                .ok_or_else(|| ScnError::new(npc.header_line, "npc missing `d`"))?;
+            let speed = npc
+                .speed
+                .clone()
+                .ok_or_else(|| ScnError::new(npc.header_line, "npc missing `speed`"))?;
+            let mut phases = Vec::with_capacity(npc.phases.len());
+            for ph in &npc.phases {
+                let trigger = ph
+                    .trigger
+                    .ok_or_else(|| ScnError::new(ph.header_line, "phase missing `trigger`"))?;
+                match (trigger, &ph.threshold) {
+                    (TriggerKind::Immediately, Some(t)) => {
+                        return Err(ScnError::new(
+                            t.line,
+                            "`immediately` takes no `threshold`",
+                        ));
+                    }
+                    (TriggerKind::AtTime | TriggerKind::GapBelow, None) => {
+                        return Err(ScnError::new(ph.header_line, "phase missing `threshold`"));
+                    }
+                    _ => {}
+                }
+                let (behavior_name, behavior_line) = ph
+                    .behavior
+                    .clone()
+                    .ok_or_else(|| ScnError::new(ph.header_line, "phase missing `behavior`"))?;
+                let reject = |slot: &Option<ExprField>, key: &str| -> Result<(), ScnError> {
+                    if let Some(f) = slot {
+                        return Err(ScnError::new(
+                            f.line,
+                            format!("`{key}` is not a `{behavior_name}` parameter"),
+                        ));
+                    }
+                    Ok(())
+                };
+                let behavior = match behavior_name.as_str() {
+                    "set_speed" => {
+                        reject(&ph.decel, "decel")?;
+                        reject(&ph.target_d, "target_d")?;
+                        reject(&ph.duration, "duration")?;
+                        BehaviorSpec::SetSpeed {
+                            target: ph.target.clone().ok_or_else(|| {
+                                ScnError::new(behavior_line, "set_speed missing `target`")
+                            })?,
+                            rate: ph.rate.clone().ok_or_else(|| {
+                                ScnError::new(behavior_line, "set_speed missing `rate`")
+                            })?,
+                        }
+                    }
+                    "stop" => {
+                        reject(&ph.target, "target")?;
+                        reject(&ph.rate, "rate")?;
+                        reject(&ph.target_d, "target_d")?;
+                        reject(&ph.duration, "duration")?;
+                        BehaviorSpec::Stop {
+                            decel: ph.decel.clone().ok_or_else(|| {
+                                ScnError::new(behavior_line, "stop missing `decel`")
+                            })?,
+                        }
+                    }
+                    "move_lateral" => {
+                        reject(&ph.target, "target")?;
+                        reject(&ph.rate, "rate")?;
+                        reject(&ph.decel, "decel")?;
+                        BehaviorSpec::MoveLateral {
+                            target_d: ph.target_d.clone().ok_or_else(|| {
+                                ScnError::new(behavior_line, "move_lateral missing `target_d`")
+                            })?,
+                            duration: ph.duration.clone().ok_or_else(|| {
+                                ScnError::new(behavior_line, "move_lateral missing `duration`")
+                            })?,
+                        }
+                    }
+                    _ => unreachable!("behavior validated at parse"),
+                };
+                phases.push(PhaseSpec {
+                    trigger,
+                    threshold: ph.threshold.clone(),
+                    behavior,
+                });
+            }
+            npc_specs.push(NpcSpec {
+                s,
+                d,
+                speed,
+                phases,
+            });
+        }
+        if npc_specs.is_empty() {
+            return Err(ScnError::new(scenario_line, "scenario needs at least one [[npc]]"));
+        }
+
+        let mut zone_specs = Vec::with_capacity(zones.len());
+        for z in &zones {
+            let start_s = z
+                .start_s
+                .ok_or_else(|| ScnError::new(z.header_line, "friction band missing `start_s`"))?;
+            let end_s = z
+                .end_s
+                .ok_or_else(|| ScnError::new(z.header_line, "friction band missing `end_s`"))?;
+            let scale = z
+                .scale
+                .ok_or_else(|| ScnError::new(z.header_line, "friction band missing `scale`"))?;
+            if start_s < 0.0 || end_s <= start_s {
+                return Err(ScnError::new(
+                    z.header_line,
+                    "friction band needs 0 <= start_s < end_s",
+                ));
+            }
+            if scale <= 0.0 || scale > 10.0 {
+                return Err(ScnError::new(
+                    z.header_line,
+                    "friction scale must be in (0, 10]",
+                ));
+            }
+            zone_specs.push(ZoneSpec {
+                start_s,
+                end_s,
+                scale,
+            });
+        }
+
+        Ok(Self {
+            name,
+            summary: summary.unwrap_or_default(),
+            road,
+            ego_start_s,
+            ego_speed,
+            vars,
+            npcs: npc_specs,
+            patch_start_s: patch.and_then(|(_, f)| f),
+            zones: zone_specs,
+        })
+    }
+
+    /// Renders the document back to canonical `.scn` text. The round trip
+    /// `parse(render(doc)) == doc` holds for every parseable document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        fn field(out: &mut String, key: &str, f: &ExprField) {
+            if f.quoted {
+                let escaped = f.src.replace('\\', "\\\\").replace('"', "\\\"");
+                let _ = writeln!(out, "{key} = \"{escaped}\"");
+            } else {
+                let _ = writeln!(out, "{key} = {}", f.src);
+            }
+        }
+        fn num(out: &mut String, key: &str, v: f64) {
+            let _ = writeln!(out, "{key} = {v:?}");
+        }
+
+        let mut out = String::new();
+        out.push_str("[scenario]\n");
+        let _ = writeln!(out, "name = \"{}\"", self.name.replace('\\', "\\\\").replace('"', "\\\""));
+        if !self.summary.is_empty() {
+            let _ = writeln!(
+                out,
+                "summary = \"{}\"",
+                self.summary.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+        field(&mut out, "ego_start_s", &self.ego_start_s);
+        field(&mut out, "ego_speed", &self.ego_speed);
+
+        out.push_str("\n[road]\n");
+        let kind = match self.road.kind {
+            RoadKind::Position => "position",
+            RoadKind::Straight => "straight",
+            RoadKind::Curvy => "curvy",
+            RoadKind::Segments => "segments",
+        };
+        let _ = writeln!(out, "kind = \"{kind}\"");
+        if let Some(len) = self.road.length {
+            num(&mut out, "length", len);
+        }
+        if let Some(w) = self.road.lane_width {
+            num(&mut out, "lane_width", w);
+        }
+        if let Some(n) = self.road.lane_count {
+            let _ = writeln!(out, "lane_count = {n}");
+        }
+        for seg in &self.road.segments {
+            out.push_str("\n[[road.segment]]\n");
+            num(&mut out, "length", seg.length);
+            if let Some(r) = seg.radius {
+                num(&mut out, "radius", r);
+            }
+            if let Some(k) = seg.curvature {
+                num(&mut out, "curvature", k);
+            }
+            if let Some(f) = seg.friction {
+                num(&mut out, "friction", f);
+            }
+        }
+
+        if !self.vars.is_empty() {
+            out.push_str("\n[vars]\n");
+            for (name, f) in &self.vars {
+                field(&mut out, name, f);
+            }
+        }
+
+        for npc in &self.npcs {
+            out.push_str("\n[[npc]]\n");
+            field(&mut out, "s", &npc.s);
+            field(&mut out, "d", &npc.d);
+            field(&mut out, "speed", &npc.speed);
+            for phase in &npc.phases {
+                out.push_str("\n[[npc.phase]]\n");
+                let trigger = match phase.trigger {
+                    TriggerKind::Immediately => "immediately",
+                    TriggerKind::AtTime => "at_time",
+                    TriggerKind::GapBelow => "gap_below",
+                };
+                let _ = writeln!(out, "trigger = \"{trigger}\"");
+                if let Some(t) = &phase.threshold {
+                    field(&mut out, "threshold", t);
+                }
+                match &phase.behavior {
+                    BehaviorSpec::SetSpeed { target, rate } => {
+                        out.push_str("behavior = \"set_speed\"\n");
+                        field(&mut out, "target", target);
+                        field(&mut out, "rate", rate);
+                    }
+                    BehaviorSpec::Stop { decel } => {
+                        out.push_str("behavior = \"stop\"\n");
+                        field(&mut out, "decel", decel);
+                    }
+                    BehaviorSpec::MoveLateral { target_d, duration } => {
+                        out.push_str("behavior = \"move_lateral\"\n");
+                        field(&mut out, "target_d", target_d);
+                        field(&mut out, "duration", duration);
+                    }
+                }
+            }
+        }
+
+        if let Some(p) = &self.patch_start_s {
+            out.push_str("\n[patch]\n");
+            field(&mut out, "start_s", p);
+        }
+
+        for z in &self.zones {
+            out.push_str("\n[[friction]]\n");
+            num(&mut out, "start_s", z.start_s);
+            num(&mut out, "end_s", z.end_s);
+            num(&mut out, "scale", z.scale);
+        }
+
+        out
+    }
+
+    /// Compiles the document into a runnable [`ScenarioSetup`].
+    ///
+    /// Draw order (the bit-identity contract): the road builds first and
+    /// never draws; then `ego_start_s`, `ego_speed`, each `[vars]` entry in
+    /// document order (eagerly, even if unused), each NPC's `s`, `d`,
+    /// `speed` then its phases (threshold before behaviour parameters),
+    /// and finally `[patch] start_s`. An absent `[patch]` consumes no
+    /// draws and places the patch far beyond any drive.
+    pub fn compile(
+        &self,
+        id: ScenarioId,
+        position: InitialPosition,
+        rng: &mut DeterministicRng,
+    ) -> Result<ScenarioSetup, ScnError> {
+        // Road first: no randomness, so failures here cannot skew draws.
+        let mut friction_zones = Vec::new();
+        let road = match self.road.kind {
+            RoadKind::Position => position.road(),
+            RoadKind::Straight | RoadKind::Curvy => {
+                let len = self.road.length.expect("validated at parse");
+                let mut b = if self.road.kind == RoadKind::Straight {
+                    RoadBuilder::straight_highway(len)
+                } else {
+                    RoadBuilder::curvy_highway(len)
+                };
+                if let Some(w) = self.road.lane_width {
+                    b = b.lane_width(w);
+                }
+                if let Some(n) = self.road.lane_count {
+                    b = b.lane_count(n);
+                }
+                b.build()
+            }
+            RoadKind::Segments => {
+                let mut b = RoadBuilder::new();
+                let mut cursor = 0.0;
+                for seg in &self.road.segments {
+                    b = match (seg.radius, seg.curvature) {
+                        (Some(r), None) => b.arc(seg.length, r),
+                        (None, Some(k)) => b.arc(seg.length, 1.0 / k),
+                        (None, None) => b.straight(seg.length),
+                        (Some(_), Some(_)) => unreachable!("validated at parse"),
+                    };
+                    if let Some(f) = seg.friction {
+                        if f != 1.0 {
+                            friction_zones.push(FrictionZone {
+                                start_s: cursor,
+                                end_s: cursor + seg.length,
+                                scale: f,
+                            });
+                        }
+                    }
+                    cursor += seg.length;
+                }
+                if let Some(w) = self.road.lane_width {
+                    b = b.lane_width(w);
+                }
+                if let Some(n) = self.road.lane_count {
+                    b = b.lane_count(n);
+                }
+                b.build()
+            }
+        };
+        for z in &self.zones {
+            friction_zones.push(FrictionZone {
+                start_s: z.start_s,
+                end_s: z.end_s,
+                scale: z.scale,
+            });
+        }
+
+        let mut ctx = EvalContext {
+            vars: vec![
+                ("gap".to_string(), position.distance()),
+                ("lane_width".to_string(), road.lane_width()),
+            ],
+            rng,
+            position,
+        };
+        let ego_start_s = ctx.eval_field(&self.ego_start_s)?;
+        ctx.vars.push(("ego_start_s".to_string(), ego_start_s));
+        let ego_speed = ctx.eval_field(&self.ego_speed)?;
+        ctx.vars.push(("ego_speed".to_string(), ego_speed));
+        for (name, field) in &self.vars {
+            let v = ctx.eval_field(field)?;
+            ctx.vars.push((name.clone(), v));
+        }
+
+        let params = VehicleParams::sedan();
+        let mut npcs = Vec::with_capacity(self.npcs.len());
+        for spec in &self.npcs {
+            let s = ctx.eval_field(&spec.s)?;
+            let d = ctx.eval_field(&spec.d)?;
+            let speed = ctx.eval_field(&spec.speed)?;
+            let mut plan = NpcPlan::cruise();
+            for phase in &spec.phases {
+                let trigger = match phase.trigger {
+                    TriggerKind::Immediately => NpcTrigger::Immediately,
+                    TriggerKind::AtTime => NpcTrigger::AtTime(
+                        ctx.eval_field(phase.threshold.as_ref().expect("validated"))?,
+                    ),
+                    TriggerKind::GapBelow => NpcTrigger::GapToEgoBelow(
+                        ctx.eval_field(phase.threshold.as_ref().expect("validated"))?,
+                    ),
+                };
+                let behavior = match &phase.behavior {
+                    BehaviorSpec::SetSpeed { target, rate } => NpcBehavior::SetSpeed {
+                        target: ctx.eval_field(target)?,
+                        rate: ctx.eval_field(rate)?,
+                    },
+                    BehaviorSpec::Stop { decel } => NpcBehavior::Stop {
+                        decel: ctx.eval_field(decel)?,
+                    },
+                    BehaviorSpec::MoveLateral { target_d, duration } => NpcBehavior::MoveLateral {
+                        target_d: ctx.eval_field(target_d)?,
+                        duration: ctx.eval_field(duration)?,
+                    },
+                };
+                plan = plan.then(trigger, behavior);
+            }
+            npcs.push(Npc::new(params, s, d, speed, plan));
+        }
+
+        let patch_start_s = match &self.patch_start_s {
+            Some(field) => ctx.eval_field(field)?,
+            // Far beyond any drive; deliberately draw-free.
+            None => 1.0e9,
+        };
+
+        Ok(ScenarioSetup {
+            id,
+            position,
+            road,
+            ego_start_s,
+            ego_speed,
+            npcs,
+            patch_start_s,
+            friction_zones,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builtin catalog
+// ---------------------------------------------------------------------------
+
+/// The six golden builtin scenario files, compiled into the binary.
+pub const BUILTIN_SOURCES: [(&str, &str); 6] = [
+    ("s1.scn", include_str!("../../../scenarios/builtin/s1.scn")),
+    ("s2.scn", include_str!("../../../scenarios/builtin/s2.scn")),
+    ("s3.scn", include_str!("../../../scenarios/builtin/s3.scn")),
+    ("s4.scn", include_str!("../../../scenarios/builtin/s4.scn")),
+    ("s5.scn", include_str!("../../../scenarios/builtin/s5.scn")),
+    ("s6.scn", include_str!("../../../scenarios/builtin/s6.scn")),
+];
+
+/// The set of scenario documents every consumer builds runs from.
+///
+/// Defaults to the six golden builtin `.scn` files (bit-identical to the
+/// historical hard-coded constructors); individual entries can be replaced
+/// via `ADAS_SCENARIO="S1=path/to/file.scn,..."`.
+#[derive(Debug, Clone)]
+pub struct ScenarioCatalog {
+    docs: Vec<ScenarioDoc>,
+}
+
+impl ScenarioCatalog {
+    /// Parses the six compiled-in builtin documents.
+    pub fn builtin() -> Result<Self, String> {
+        let mut docs = Vec::with_capacity(6);
+        for (file, src) in BUILTIN_SOURCES {
+            docs.push(ScenarioDoc::parse(src).map_err(|e| format!("{file}: {e}"))?);
+        }
+        Ok(Self { docs })
+    }
+
+    /// The builtin catalog with `ADAS_SCENARIO` overrides applied.
+    ///
+    /// The variable holds comma-separated `SN=path` pairs; each file is
+    /// parsed and validated (compiled for both positions with a throwaway
+    /// RNG) before it replaces a builtin.
+    pub fn from_env() -> Result<Self, String> {
+        let mut catalog = Self::builtin()?;
+        let Ok(spec) = std::env::var("ADAS_SCENARIO") else {
+            return Ok(catalog);
+        };
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let Some((label, path)) = entry.split_once('=') else {
+                return Err(format!("ADAS_SCENARIO entry `{entry}` is not `SN=path`"));
+            };
+            let label = label.trim();
+            let id = ScenarioId::ALL
+                .into_iter()
+                .find(|s| s.label().eq_ignore_ascii_case(label))
+                .ok_or_else(|| format!("ADAS_SCENARIO: unknown scenario `{label}`"))?;
+            let path = path.trim();
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("ADAS_SCENARIO: cannot read `{path}`: {e}"))?;
+            let doc = ScenarioDoc::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            for position in InitialPosition::ALL {
+                let mut probe = DeterministicRng::from_seed(0);
+                doc.compile(id, position, &mut probe)
+                    .map_err(|e| format!("{path} ({position:?}): {e}"))?;
+            }
+            catalog.docs[id.index()] = doc;
+        }
+        Ok(catalog)
+    }
+
+    /// The process-wide catalog, initialised once from the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on first use if a builtin fails to parse (a build defect) or
+    /// an `ADAS_SCENARIO` override is invalid — misconfigured scenario
+    /// files should fail loudly, not silently fall back.
+    #[must_use]
+    pub fn global() -> &'static ScenarioCatalog {
+        static CATALOG: OnceLock<ScenarioCatalog> = OnceLock::new();
+        CATALOG.get_or_init(|| {
+            ScenarioCatalog::from_env()
+                .unwrap_or_else(|e| panic!("scenario catalog failed to load: {e}"))
+        })
+    }
+
+    /// The document for a scenario.
+    #[must_use]
+    pub fn doc(&self, id: ScenarioId) -> &ScenarioDoc {
+        &self.docs[id.index()]
+    }
+
+    /// FNV-1a digest over the canonical renders of every document — the
+    /// scenario-content component of campaign cache keys. Two catalogs
+    /// agree exactly when every scenario they would compile agrees.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for doc in &self.docs {
+            for byte in doc.render().bytes() {
+                mix(byte);
+            }
+            mix(0); // document separator
+        }
+        h
+    }
+
+    /// Compiles a scenario into a runnable setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the document fails to compile — catalog entries are
+    /// validated at load, so this indicates a bug, not bad input.
+    #[must_use]
+    pub fn build(
+        &self,
+        id: ScenarioId,
+        position: InitialPosition,
+        rng: &mut DeterministicRng,
+    ) -> ScenarioSetup {
+        self.docs[id.index()]
+            .compile(id, position, rng)
+            .unwrap_or_else(|e| panic!("scenario {id} failed to compile: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+# A minimal two-vehicle world.
+[scenario]
+name = "mini"
+ego_start_s = 10.0
+ego_speed = "mph(50.0)"
+
+[road]
+kind = "straight"
+length = 2000.0
+
+[[npc]]
+s = 80.0
+d = 0.0
+speed = "mph(30.0)"
+"#;
+
+    #[test]
+    fn minimal_document_parses_and_compiles() {
+        let doc = ScenarioDoc::parse(MINIMAL).expect("parses");
+        assert_eq!(doc.name, "mini");
+        let mut rng = DeterministicRng::from_seed(3);
+        let setup = doc
+            .compile(ScenarioId::S1, InitialPosition::Near, &mut rng)
+            .expect("compiles");
+        assert_eq!(setup.npcs.len(), 1);
+        assert!((setup.ego_speed - mph(50.0)).abs() < 1e-12);
+        assert!(setup.patch_start_s > 1.0e8, "absent patch sits far away");
+        assert!(setup.friction_zones.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_render_parse_is_identity() {
+        let doc = ScenarioDoc::parse(MINIMAL).unwrap();
+        let rendered = doc.render();
+        let reparsed = ScenarioDoc::parse(&rendered).expect("rendered text parses");
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn builtin_catalog_roundtrips() {
+        for (file, src) in BUILTIN_SOURCES {
+            let doc = ScenarioDoc::parse(src).unwrap_or_else(|e| panic!("{file}: {e}"));
+            let reparsed = ScenarioDoc::parse(&doc.render()).expect("rendered builtin parses");
+            assert_eq!(doc, reparsed, "{file} round-trips");
+        }
+    }
+
+    #[test]
+    fn catalog_digest_is_stable_and_content_sensitive() {
+        let a = ScenarioCatalog::builtin().unwrap();
+        let b = ScenarioCatalog::builtin().unwrap();
+        assert_eq!(a.digest(), b.digest(), "digest is deterministic");
+        let mut swapped = ScenarioCatalog::builtin().unwrap();
+        swapped.docs[4] = ScenarioDoc::parse(MINIMAL).unwrap();
+        assert_ne!(a.digest(), swapped.digest(), "digest tracks document content");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "[scenario]\nname = \"x\"\nego_start_s = 1.0\nego_speed = oops\n";
+        let err = ScenarioDoc::parse(bad).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("expected a number"), "{}", err.message);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let bad = "[scenario]\nname = \"x\"\nname = \"y\"\n";
+        let err = ScenarioDoc::parse(bad).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("duplicate key"));
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let err = ScenarioDoc::parse("[wat]\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown section"));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let bad = "[scenario]\nname = \"x\"\nego_start_s = \"rand(1.0)\"\n";
+        let err = ScenarioDoc::parse(bad).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn deep_nesting_rejected_without_panic() {
+        let src = format!(
+            "[scenario]\nname = \"x\"\nego_start_s = \"{}1.0{}\"\n",
+            "(".repeat(500),
+            ")".repeat(500)
+        );
+        let err = ScenarioDoc::parse(&src).unwrap_err();
+        assert!(err.message.contains("deeply nested"));
+    }
+
+    #[test]
+    fn reserved_variable_names_rejected() {
+        let bad = format!("{MINIMAL}\n[vars]\ngap = 1.0\n");
+        let err = ScenarioDoc::parse(&bad).unwrap_err();
+        assert!(err.message.contains("reserved"));
+    }
+
+    #[test]
+    fn expression_draws_delegate_to_rng() {
+        let src = MINIMAL.replace("speed = \"mph(30.0)\"", "speed = \"mph(30.0) + gauss(0.1)\"");
+        let doc = ScenarioDoc::parse(&src).unwrap();
+        let mut a = DeterministicRng::from_seed(9);
+        let mut b = DeterministicRng::from_seed(9);
+        let expected = mph(30.0) + b.gaussian(0.1);
+        let setup = doc
+            .compile(ScenarioId::S1, InitialPosition::Near, &mut a)
+            .unwrap();
+        assert_eq!(setup.npcs[0].state().v, expected);
+    }
+
+    #[test]
+    fn segment_friction_becomes_zones() {
+        let src = r#"
+[scenario]
+name = "icy"
+ego_start_s = 0.0
+ego_speed = "mph(50.0)"
+
+[road]
+kind = "segments"
+
+[[road.segment]]
+length = 500.0
+
+[[road.segment]]
+length = 200.0
+radius = 450.0
+friction = 0.5
+
+[[npc]]
+s = 80.0
+d = 0.0
+speed = "mph(30.0)"
+
+[[friction]]
+start_s = 900.0
+end_s = 950.0
+scale = 0.25
+"#;
+        let doc = ScenarioDoc::parse(src).unwrap();
+        let mut rng = DeterministicRng::from_seed(1);
+        let setup = doc
+            .compile(ScenarioId::S1, InitialPosition::Near, &mut rng)
+            .unwrap();
+        assert_eq!(setup.friction_zones.len(), 2);
+        assert_eq!(setup.friction_zones[0].start_s, 500.0);
+        assert_eq!(setup.friction_zones[0].end_s, 700.0);
+        assert_eq!(setup.friction_zones[1].scale, 0.25);
+        assert!((setup.road.total_length() - 700.0).abs() < 1e-9);
+    }
+}

@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dsl;
 pub mod hazards;
 pub mod metrics;
 pub mod scenario;
 
+pub use dsl::{ScenarioCatalog, ScenarioDoc, ScnError};
 pub use hazards::{AccidentKind, HazardConfig, HazardMonitor, HazardSnapshot};
 pub use metrics::{RunMetrics, RunRecord};
 pub use scenario::{InitialPosition, ScenarioId, ScenarioSetup};

@@ -1,8 +1,8 @@
 //! Scenario construction: roads, spawn positions, NPC scripts.
 
 use adas_simulator::{
-    units::mph, DeterministicRng, Npc, NpcBehavior, NpcPlan, NpcTrigger, Road, RoadBuilder,
-    VehicleParams,
+    units::mph, DeterministicRng, FrictionZone, Npc, NpcBehavior, NpcPlan, NpcTrigger, Road,
+    RoadBuilder, VehicleParams,
 };
 use serde::{Deserialize, Serialize};
 
@@ -123,7 +123,7 @@ impl InitialPosition {
 }
 
 /// Everything needed to initialise a world for one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSetup {
     /// The scenario this was built from.
     pub id: ScenarioId,
@@ -140,14 +140,32 @@ pub struct ScenarioSetup {
     /// Suggested arc length for the adversarial road patch: placed so the
     /// ego reaches it during its approach phase.
     pub patch_start_s: f64,
+    /// Localised friction bands along the road (wet patches, icy bridge
+    /// decks). Empty for the builtin S1–S6.
+    pub friction_zones: Vec<FrictionZone>,
 }
 
 impl ScenarioSetup {
     /// Builds a runnable setup for `(scenario, position)`; `rng` provides
     /// the per-repetition jitter (spawn distance, speeds, event timing) that
     /// makes the paper's 10 repetitions differ.
+    ///
+    /// Setups come from the process-wide [`crate::dsl::ScenarioCatalog`]:
+    /// the six golden `.scn` files by default (bit-identical to
+    /// [`Self::build_hardcoded`]), or `ADAS_SCENARIO` overrides.
     #[must_use]
     pub fn build(id: ScenarioId, position: InitialPosition, rng: &mut DeterministicRng) -> Self {
+        crate::dsl::ScenarioCatalog::global().build(id, position, rng)
+    }
+
+    /// The historical hard-coded constructor, retained as the reference
+    /// the DSL catalog is differentially tested against.
+    #[must_use]
+    pub fn build_hardcoded(
+        id: ScenarioId,
+        position: InitialPosition,
+        rng: &mut DeterministicRng,
+    ) -> Self {
         let road = position.road();
         let ego_start_s = 10.0;
         let ego_speed = mph(50.0) + rng.gaussian(0.15);
@@ -256,6 +274,7 @@ impl ScenarioSetup {
             ego_speed,
             npcs,
             patch_start_s,
+            friction_zones: Vec::new(),
         }
     }
 }

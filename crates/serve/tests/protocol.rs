@@ -53,6 +53,7 @@ fn arb_spec(rng: &mut TestRng) -> CampaignSpec {
         repetitions: 1 + rng.next_u64() as u32 % 10,
         max_steps: [0u32, 500, 10_000][rng.usize_in(0, 3)],
         scenario_mask: 1 + (rng.next_u64() as u8 % SCENARIO_MASK_ALL),
+        attack: adas_attack::AttackScheduler::Immediate,
         cells,
     }
 }
@@ -397,6 +398,7 @@ fn assign_cells_count_mismatch_is_malformed() {
         repetitions: 1,
         max_steps: 50,
         scenario_mask: 1,
+        attack: adas_attack::AttackScheduler::Immediate,
         cells: vec![
             CellSpec {
                 fault: None,

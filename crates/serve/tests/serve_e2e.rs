@@ -56,6 +56,7 @@ fn quick_spec(cells: Vec<CellSpec>) -> CampaignSpec {
         repetitions: 2,
         max_steps: 1500,
         scenario_mask: 0b00_1001,
+        attack: adas_attack::AttackScheduler::Immediate,
         cells,
     }
 }

@@ -66,6 +66,44 @@ impl std::fmt::Display for FrictionCondition {
     }
 }
 
+/// A localised friction band along the road — a wet patch, an icy bridge
+/// deck, a gravel stretch. Scenario files attach zones to road segments or
+/// declare them standalone; inside `[start_s, end_s)` the world's base
+/// friction coefficient is multiplied by `scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrictionZone {
+    /// Arc length where the band begins, metres.
+    pub start_s: f64,
+    /// Arc length where the band ends (exclusive), metres.
+    pub end_s: f64,
+    /// Multiplier applied to the base friction coefficient inside the band.
+    pub scale: f64,
+}
+
+impl FrictionZone {
+    /// Whether arc length `s` falls inside the band.
+    #[must_use]
+    pub fn contains(&self, s: f64) -> bool {
+        s >= self.start_s && s < self.end_s
+    }
+}
+
+/// The effective surface at arc length `s`: the base surface scaled by the
+/// first zone containing `s` (zones are checked in declaration order).
+/// Returns `base` unchanged — bitwise — when no zone matches, so worlds
+/// without zones behave exactly as before zones existed.
+#[must_use]
+pub fn surface_in_zones(base: SurfaceFriction, zones: &[FrictionZone], s: f64) -> SurfaceFriction {
+    for zone in zones {
+        if zone.contains(s) {
+            return SurfaceFriction {
+                mu: base.mu * zone.scale,
+            };
+        }
+    }
+    base
+}
+
 /// Physical friction limits derived from a [`FrictionCondition`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SurfaceFriction {
@@ -158,6 +196,32 @@ mod tests {
     fn lateral_budget_below_mu_g() {
         let f = SurfaceFriction::default();
         assert!(f.max_lateral_accel() < f.mu * crate::units::GRAVITY);
+    }
+
+    #[test]
+    fn zones_scale_only_inside_their_band() {
+        let base = SurfaceFriction::default();
+        let zones = [
+            FrictionZone {
+                start_s: 100.0,
+                end_s: 200.0,
+                scale: 0.5,
+            },
+            FrictionZone {
+                start_s: 150.0,
+                end_s: 300.0,
+                scale: 0.25,
+            },
+        ];
+        assert_eq!(surface_in_zones(base, &zones, 50.0), base);
+        assert!((surface_in_zones(base, &zones, 100.0).mu - base.mu * 0.5).abs() < 1e-12);
+        // Overlap: first declared zone wins.
+        assert!((surface_in_zones(base, &zones, 160.0).mu - base.mu * 0.5).abs() < 1e-12);
+        assert!((surface_in_zones(base, &zones, 250.0).mu - base.mu * 0.25).abs() < 1e-12);
+        // end_s is exclusive.
+        assert_eq!(surface_in_zones(base, &zones, 300.0), base);
+        // No zones: bitwise identity.
+        assert_eq!(surface_in_zones(base, &[], 160.0), base);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod world;
 
 pub use batch::{BatchWorld, LaneState};
 pub use collision::{CollisionEvent, LaneDeparture};
-pub use friction::{FrictionCondition, SurfaceFriction};
+pub use friction::{surface_in_zones, FrictionCondition, FrictionZone, SurfaceFriction};
 pub use math::Vec2;
 pub use npc::{Npc, NpcBehavior, NpcPhase, NpcPlan, NpcTrigger};
 pub use road::{LaneId, Road, RoadBuilder, RoadSegment};

@@ -4,7 +4,7 @@ use crate::collision::{
     center_departed_lane, contact_is_longitudinal, vehicles_overlap, CollisionEvent,
     LaneDeparture,
 };
-use crate::friction::{FrictionCondition, SurfaceFriction};
+use crate::friction::{surface_in_zones, FrictionCondition, FrictionZone, SurfaceFriction};
 use crate::npc::Npc;
 use crate::road::Road;
 use crate::units::SIM_DT;
@@ -66,6 +66,7 @@ pub struct World {
     config: WorldConfig,
     road: Road,
     surface: SurfaceFriction,
+    friction_zones: Vec<FrictionZone>,
     ego: Option<Vehicle>,
     npcs: Vec<Npc>,
     prev_npc_d: Vec<f64>,
@@ -84,6 +85,7 @@ impl World {
             config,
             road,
             surface,
+            friction_zones: Vec::new(),
             ego: None,
             npcs: Vec::new(),
             prev_npc_d: Vec::new(),
@@ -117,6 +119,24 @@ impl World {
     #[must_use]
     pub fn surface(&self) -> SurfaceFriction {
         self.surface
+    }
+
+    /// Adds a localised friction band. Vehicles inside the band drive on
+    /// the base surface scaled by the zone's multiplier.
+    pub fn add_friction_zone(&mut self, zone: FrictionZone) {
+        self.friction_zones.push(zone);
+    }
+
+    /// The declared friction bands.
+    #[must_use]
+    pub fn friction_zones(&self) -> &[FrictionZone] {
+        &self.friction_zones
+    }
+
+    /// The effective surface at arc length `s`, accounting for zones.
+    #[must_use]
+    pub fn surface_at(&self, s: f64) -> SurfaceFriction {
+        surface_in_zones(self.surface, &self.friction_zones, s)
     }
 
     /// Simulation clock, seconds.
@@ -248,10 +268,11 @@ impl World {
 
         for (i, npc) in self.npcs.iter_mut().enumerate() {
             self.prev_npc_d[i] = npc.state().d;
-            npc.step(&self.road, self.surface, self.time, &ego_state, ego_len, dt);
+            let surface = surface_in_zones(self.surface, &self.friction_zones, npc.state().s);
+            npc.step(&self.road, surface, self.time, &ego_state, ego_len, dt);
         }
 
-        let surface = self.surface;
+        let surface = surface_in_zones(self.surface, &self.friction_zones, ego_state.s);
         let road = &self.road;
         let ego = self.ego.as_mut().expect("ego vehicle not spawned");
         ego.step(ego_command, road, surface, dt);
@@ -435,6 +456,51 @@ mod tests {
             seen |= w.cut_in_threat();
         }
         assert!(!seen);
+    }
+
+    #[test]
+    fn friction_zone_weakens_braking_inside_the_band() {
+        let brake_distance = |zones: &[FrictionZone]| {
+            let mut w = simple_world();
+            for z in zones {
+                w.add_friction_zone(*z);
+            }
+            w.spawn_ego(0.0, 30.0);
+            while w.ego().state().v > 0.5 {
+                w.step(VehicleCommand {
+                    brake: 1.0,
+                    ..VehicleCommand::default()
+                });
+            }
+            w.ego().state().s
+        };
+        let dry = brake_distance(&[]);
+        let icy = brake_distance(&[FrictionZone {
+            start_s: 0.0,
+            end_s: 1_000.0,
+            scale: 0.25,
+        }]);
+        assert!(icy > dry * 2.0, "icy zone must stretch stopping distance");
+        // A zone the ego never enters leaves the run untouched.
+        let elsewhere = brake_distance(&[FrictionZone {
+            start_s: 2_000.0,
+            end_s: 2_500.0,
+            scale: 0.25,
+        }]);
+        assert_eq!(elsewhere, dry);
+    }
+
+    #[test]
+    fn surface_at_reflects_zones() {
+        let mut w = simple_world();
+        w.add_friction_zone(FrictionZone {
+            start_s: 100.0,
+            end_s: 200.0,
+            scale: 0.5,
+        });
+        assert_eq!(w.surface_at(50.0), w.surface());
+        assert!((w.surface_at(150.0).mu - w.surface().mu * 0.5).abs() < 1e-12);
+        assert_eq!(w.friction_zones().len(), 1);
     }
 
     #[test]

@@ -117,6 +117,7 @@ fn mitigation_spec() -> CampaignSpec {
         repetitions: 1,
         max_steps: 900,
         scenario_mask: 0b00_1001, // S1 + S4
+        attack: openadas::attack::AttackScheduler::Immediate,
         cells: vec![
             CellSpec {
                 fault: Some(FaultType::RelativeDistance),
