@@ -38,6 +38,17 @@ fn main() {
     let reps = reps_from_args();
     let cache = ArtifactCache::from_env();
     let sink = TraceSink::from_env();
+    // `ADAS_STORE_DIR` additionally appends every finished cell to the
+    // columnar results store, one segment per invocation, so
+    // `adas-store query` can aggregate across historic sweeps.
+    let store = adas_store::dir_from_env().and_then(|dir| match adas_store::Store::open(&dir) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("store write-through disabled: {e}");
+            None
+        }
+    });
+    let mut store_rows: Vec<adas_store::CellRow> = Vec::new();
     let mut timer = PhaseTimer::new();
     if sink.enabled() {
         println!(
@@ -79,7 +90,7 @@ fn main() {
             "A2",
             "Prev",
         ]);
-        for mut iv in InterventionConfig::table_vi_rows() {
+        for (iv_idx, mut iv) in InterventionConfig::table_vi_rows().into_iter().enumerate() {
             if iv.ml {
                 // Strategy selection applies only to ML rows; the default
                 // environment leaves the row — and its cache keys —
@@ -125,6 +136,29 @@ fn main() {
                     CellStats::from_records(records.iter().map(|(_, r)| r))
                 })
             };
+            if store.is_some() {
+                let mitigation = match iv.mitigation {
+                    adas_ml::MitigationKind::Cusum => 0,
+                    adas_ml::MitigationKind::Ensemble => 1,
+                    adas_ml::MitigationKind::MaskCheck => 2,
+                };
+                store_rows.push(adas_store::CellRow::from_stats(
+                    (
+                        adas_store::record::ANY,
+                        adas_store::record::ANY,
+                        match fault {
+                            FaultType::RelativeDistance => 1,
+                            FaultType::DesiredCurvature => 2,
+                            FaultType::Mixed => 3,
+                        },
+                        iv_idx as u8,
+                        mitigation,
+                        u8::from(!cfg.attack.is_immediate()),
+                    ),
+                    CAMPAIGN_SEED,
+                    &s,
+                ));
+            }
             let reference = paper::TABLE_VI
                 .iter()
                 .find(|(f, row, ..)| *f == fault.label() && *row == iv.label())
@@ -169,6 +203,12 @@ fn main() {
 
     timer.phase("emit");
     write_results_file("table_vi.csv", &csv);
+    if let Some(store) = &store {
+        match store.append_cells(&store_rows) {
+            Ok(_) => println!("results store: appended {} cell rows", store_rows.len()),
+            Err(e) => eprintln!("results store append failed: {e}"),
+        }
+    }
     if sink.enabled() {
         let mode = match sink.policy().record_mode {
             RecordMode::Full => format!("{:?}", sink.policy().mode).to_lowercase(),

@@ -7,6 +7,7 @@
 //! adas-serve bench   --clients K --workers N [--campaigns M] [--admit N]
 //!                    [campaign flags]
 //! adas-serve client submit   [--addr A] [campaign flags]
+//! adas-serve client fuzz     [--addr A] [fuzz flags]
 //! adas-serve client bench    [--addr A] [campaign flags]
 //! adas-serve client status   JOB [--addr A]
 //! adas-serve client watch    JOB [--addr A]
@@ -63,6 +64,16 @@ USAGE:
       Faults: none rd dc mixed. Rows: none driver driver-check
       driver-check-aeb-comp driver-check-aeb-indep aeb-comp aeb-indep
       ml ml-ens ml-mask.
+
+  adas-serve client fuzz [--addr A] [--seed N] [--sessions N] [--runs N]
+                         [--batch N] [--shrink N] [--secs-ms N] [--repros DIR]
+      Submit a fuzz-farm job (N time-boxed coverage-guided sessions on
+      consecutive seeds), stream per-session outcomes, and print the
+      fleet-wide deduped finding set. Against a coordinator the sessions
+      shard across the fleet; the deduped set is identical either way.
+      Defaults: ADAS_FUZZ_FARM_SESSIONS (4), ADAS_FUZZ_FARM_RUNS (120),
+      ADAS_FUZZ_FARM_SECS_MS (0 = unbounded). --repros saves deduped
+      shrunk repros + traces under DIR.
 
   adas-serve client bench [--addr A] [campaign flags]
       Submit the same campaign twice and report cold vs warm wall time.
@@ -337,6 +348,43 @@ fn parse_rows(list: &str) -> Result<Vec<InterventionConfig>, String> {
         .collect()
 }
 
+/// Parses the fuzz-farm flags for `client fuzz`. Env defaults let CI and
+/// scripted sweeps configure the farm without flag plumbing.
+fn fuzz_from_flags(args: &mut Vec<String>) -> Result<adas_fuzz::FuzzJobSpec, String> {
+    let first_seed = match take_flag(args, "--seed")? {
+        Some(s) => s.parse().map_err(|e| format!("--seed: {e}"))?,
+        None => adas_bench::CAMPAIGN_SEED,
+    };
+    let sessions = match take_flag(args, "--sessions")? {
+        Some(s) => s.parse::<usize>().map_err(|e| format!("--sessions: {e}"))?,
+        None => adas_parallel::env::parse_or("ADAS_FUZZ_FARM_SESSIONS", "a session count ≥ 1", 4),
+    }
+    .max(1);
+    let mut spec = adas_fuzz::FuzzJobSpec::quick(first_seed, sessions);
+    if let Some(s) = take_flag(args, "--runs")? {
+        spec.max_runs = s.parse().map_err(|e| format!("--runs: {e}"))?;
+    } else {
+        spec.max_runs =
+            adas_parallel::env::parse_or("ADAS_FUZZ_FARM_RUNS", "a run budget ≥ 1", spec.max_runs);
+    }
+    if let Some(s) = take_flag(args, "--batch")? {
+        spec.batch = s.parse().map_err(|e| format!("--batch: {e}"))?;
+    }
+    if let Some(s) = take_flag(args, "--shrink")? {
+        spec.shrink_steps = s.parse().map_err(|e| format!("--shrink: {e}"))?;
+    }
+    if let Some(s) = take_flag(args, "--secs-ms")? {
+        spec.max_secs_ms = s.parse().map_err(|e| format!("--secs-ms: {e}"))?;
+    } else {
+        spec.max_secs_ms =
+            adas_parallel::env::parse_or("ADAS_FUZZ_FARM_SECS_MS", "a time box in ms (0 = none)", 0);
+    }
+    if !spec.validate() {
+        return Err("fuzz flags produce an invalid job spec".into());
+    }
+    Ok(spec)
+}
+
 fn addr_from_flags(args: &mut Vec<String>) -> Result<String, String> {
     Ok(take_flag(args, "--addr")?.unwrap_or_else(|| {
         adas_core::env::raw("ADAS_SERVE_ADDR").unwrap_or_else(|| adas_serve::DEFAULT_ADDR.into())
@@ -399,6 +447,70 @@ fn cmd_client(args: &[String]) -> ExitCode {
                             cells.len(),
                             t0.elapsed().as_secs_f64()
                         );
+                        Ok(if state == JobState::Done {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::from(1)
+                        })
+                    }
+                }
+            }
+            "fuzz" => {
+                let spec = fuzz_from_flags(&mut args)?;
+                let repro_dir = take_flag(&mut args, "--repros")?;
+                let addr = addr_from_flags(&mut args)?;
+                expect_empty(&args)?;
+                let mut client = connect(&addr)?;
+                let t0 = Instant::now();
+                match client.submit_fuzz(&spec).map_err(|e| e.to_string())? {
+                    Submission::Rejected {
+                        retry_after_ms,
+                        reason,
+                    } => {
+                        eprintln!("rejected: {reason} (retry after {retry_after_ms} ms)");
+                        Ok(ExitCode::from(1))
+                    }
+                    Submission::Accepted { job_id, .. } => {
+                        let (outcomes, state) = client
+                            .stream_fuzz(|o| {
+                                println!(
+                                    "session {:>10}: {:>6} runs · corpus {:>4} · {} findings{}",
+                                    o.seed,
+                                    o.runs,
+                                    o.corpus,
+                                    o.findings.len(),
+                                    if o.hit_time_budget { " · time-boxed" } else { "" }
+                                );
+                            })
+                            .map_err(|e| e.to_string())?;
+                        // The same fold the daemon/coordinator ran: the
+                        // deduped set is reproducible client-side.
+                        let summary = adas_fuzz::farm::fold(&spec, &outcomes);
+                        println!(
+                            "job {} {} · {} sessions · {} deduped findings ({} duplicates) \
+                             in {:.2} s",
+                            job_id,
+                            state,
+                            summary.sessions,
+                            summary.findings.len(),
+                            summary.dedup_hits,
+                            t0.elapsed().as_secs_f64()
+                        );
+                        for (oracle, count) in summary.by_oracle().iter().enumerate() {
+                            if *count > 0 {
+                                println!(
+                                    "  {:<24} {count}",
+                                    adas_fuzz::OracleKind::ALL[oracle].name()
+                                );
+                            }
+                        }
+                        if let Some(dir) = repro_dir {
+                            let paths = adas_fuzz::farm::save_repros(
+                                &summary.findings,
+                                std::path::Path::new(&dir),
+                            )?;
+                            println!("saved {} repros under {dir}", paths.len());
+                        }
                         Ok(if state == JobState::Done {
                             ExitCode::SUCCESS
                         } else {

@@ -28,10 +28,16 @@ use crate::fleet::Fleet;
 use crate::ring::HashRing;
 use crate::FabricError;
 use adas_core::{CampaignSpec, CellStats};
+use adas_fuzz::farm::{self, FarmSummary, FuzzJobSpec, SessionOutcome};
+use adas_serve::sink::{self, StoreSink};
 use adas_serve::{Client, Submission};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Where the coordinator persists deduped shrunk repros after a fuzz
+/// farm job (unset = no repro persistence).
+pub const FUZZ_REPRO_DIR_ENV: &str = "ADAS_FUZZ_FARM_REPRO_DIR";
 
 /// Rounds with neither progress nor a fleet change before a campaign is
 /// declared stuck (workers persistently rejecting or wedged).
@@ -108,6 +114,14 @@ pub struct FabricMetrics {
     pub redispatch_rounds: AtomicU64,
     /// Queue-full rejections absorbed by assignment backoff.
     pub assign_rejections: AtomicU64,
+    /// Fuzz farm jobs folded to completion.
+    pub fuzz_jobs: AtomicU64,
+    /// Fuzz sessions merged (each seed exactly once).
+    pub fuzz_sessions: AtomicU64,
+    /// Deduped findings surviving the fleet-wide fold.
+    pub fuzz_findings: AtomicU64,
+    /// Findings dropped as behavioural duplicates by the fold.
+    pub fuzz_dedup_hits: AtomicU64,
 }
 
 /// In-order merge buffer: slots by global index, emitting a strict
@@ -148,6 +162,43 @@ impl Merge<'_> {
     }
 }
 
+/// Fuzz-session merge buffer: slots by global seed index, first write
+/// wins (a seed re-dispatched after a slow worker's death may complete
+/// twice — identical payloads, only one counts), emitting sessions as a
+/// strict seed-order prefix exactly like the campaign merge.
+struct FuzzMerge<'a> {
+    slots: Vec<Option<SessionOutcome>>,
+    next_emit: usize,
+    on_session: &'a mut (dyn FnMut(&SessionOutcome) + Send),
+    duplicates: u64,
+}
+
+impl FuzzMerge<'_> {
+    fn insert(&mut self, index: usize, outcome: SessionOutcome) {
+        if index >= self.slots.len() || self.slots[index].is_some() {
+            self.duplicates += 1;
+            return;
+        }
+        self.slots[index] = Some(outcome);
+        while self.next_emit < self.slots.len() {
+            let Some(outcome) = &self.slots[self.next_emit] else {
+                break;
+            };
+            (self.on_session)(outcome);
+            self.next_emit += 1;
+        }
+    }
+
+    fn missing(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
 /// A connected coordinator: fleet handle + dispatch state.
 #[derive(Debug)]
 pub struct Coordinator {
@@ -155,6 +206,10 @@ pub struct Coordinator {
     pub fleet: Arc<Fleet>,
     /// Live counters.
     pub metrics: FabricMetrics,
+    /// Optional `ADAS_STORE_DIR` write-through for fuzz findings — the
+    /// coordinator is the single store writer for farm jobs (workers
+    /// skip persistence on assigned slices to avoid double-writes).
+    store_sink: StoreSink,
     vnodes: usize,
     deadline: Duration,
     assignment_ids: AtomicU64,
@@ -167,6 +222,7 @@ impl Coordinator {
         Self {
             fleet,
             metrics: FabricMetrics::default(),
+            store_sink: StoreSink::from_env(),
             vnodes: config.vnodes,
             deadline: config.deadline,
             assignment_ids: AtomicU64::new(1),
@@ -358,16 +414,213 @@ impl Coordinator {
         }
     }
 
+    /// Runs one fuzz-farm job across the fleet: shards the session seeds
+    /// over the live workers, streams `on_session` in strict seed order,
+    /// folds every outcome into the fleet-wide deduped finding set, and
+    /// persists deduped repros ([`FUZZ_REPRO_DIR_ENV`]) plus store rows
+    /// (`ADAS_STORE_DIR`) centrally.
+    ///
+    /// Determinism: the fold runs over the complete outcome set in global
+    /// `spec.seeds` order with the same first-write-wins discipline a
+    /// single daemon applies, so the deduped finding set and the shrunk
+    /// repro bytes are independent of worker count, shard routing, and
+    /// mid-job worker deaths.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::InvalidSpec`] for a spec failing validation,
+    /// [`FabricError::NoLiveWorkers`] when the whole fleet is dead with
+    /// sessions outstanding, [`FabricError::Stalled`] when live workers
+    /// stop making progress.
+    pub fn run_fuzz_farm(
+        &self,
+        spec: &FuzzJobSpec,
+        mut on_session: impl FnMut(&SessionOutcome) + Send,
+    ) -> Result<FarmSummary, FabricError> {
+        if !spec.validate() {
+            return Err(FabricError::InvalidSpec);
+        }
+        let merge = Mutex::new(FuzzMerge {
+            slots: vec![None; spec.seeds.len()],
+            next_emit: 0,
+            on_session: &mut on_session,
+            duplicates: 0,
+        });
+
+        let mut round = 0u32;
+        let mut stalled = 0u32;
+        loop {
+            let missing = merge.lock().expect("fuzz merge lock").missing();
+            if missing.is_empty() {
+                break;
+            }
+            let live = self.fleet.live_slots();
+            if live.is_empty() {
+                return Err(FabricError::NoLiveWorkers);
+            }
+            if round > 0 {
+                self.metrics.redispatch_rounds.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "[fabric] fuzz round {round}: re-dispatching {} sessions across {} live workers",
+                    missing.len(),
+                    live.len()
+                );
+            }
+            let ring = HashRing::new(
+                &live.iter().map(|&s| self.fleet.workers[s].id).collect::<Vec<_>>(),
+                self.vnodes,
+            );
+            let mut shards: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
+            for &idx in &missing {
+                let slot = ring.route(spec.seeds[idx]).expect("non-empty ring");
+                shards[slot].push(idx);
+            }
+            let before = missing.len();
+            let fleet_before = live.len();
+            std::thread::scope(|scope| {
+                for (ring_slot, indices) in shards.into_iter().enumerate() {
+                    if indices.is_empty() {
+                        continue;
+                    }
+                    let fleet_slot = live[ring_slot];
+                    let merge = &merge;
+                    scope.spawn(move || {
+                        self.dispatch_fuzz_shard(fleet_slot, &indices, spec, merge);
+                    });
+                }
+            });
+            let after = merge.lock().expect("fuzz merge lock").missing().len();
+            let fleet_after = self.fleet.live_slots().len();
+            if after == before && fleet_after == fleet_before {
+                stalled += 1;
+                if stalled >= MAX_STALLED_ROUNDS {
+                    return Err(FabricError::Stalled {
+                        missing: after,
+                        rounds: round + 1,
+                    });
+                }
+            } else {
+                stalled = 0;
+            }
+            round += 1;
+        }
+
+        let mut merged = merge.into_inner().expect("fuzz merge lock");
+        self.metrics
+            .duplicates_dropped
+            .fetch_add(merged.duplicates, Ordering::Relaxed);
+        let outcomes: Vec<SessionOutcome> = merged
+            .slots
+            .drain(..)
+            .map(|s| s.expect("fuzz merge complete"))
+            .collect();
+        // The global fold: same code path a single daemon runs, over the
+        // complete outcome set in spec.seeds order.
+        let summary = farm::fold(spec, &outcomes);
+        self.metrics.fuzz_jobs.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .fuzz_sessions
+            .fetch_add(summary.sessions, Ordering::Relaxed);
+        self.metrics
+            .fuzz_findings
+            .fetch_add(summary.findings.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .fuzz_dedup_hits
+            .fetch_add(summary.dedup_hits, Ordering::Relaxed);
+
+        if self.store_sink.enabled() {
+            let rows: Vec<adas_store::FindingRow> =
+                summary.findings.iter().map(sink::finding_row).collect();
+            self.store_sink.findings(&rows);
+        }
+        if let Some(dir) = adas_core::env::raw(FUZZ_REPRO_DIR_ENV) {
+            match farm::save_repros(&summary.findings, std::path::Path::new(&dir)) {
+                Ok(paths) => {
+                    if !paths.is_empty() {
+                        eprintln!("[fabric] persisted {} repros under {dir}", paths.len());
+                    }
+                }
+                Err(e) => eprintln!("[fabric] repro persistence failed: {e}"),
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Dispatches one worker's seed slice on a fresh data connection and
+    /// drains its per-session result stream into the fuzz merge buffer.
+    /// Transport failures and stream stalls mark the worker dead; its
+    /// unfinished seeds stay missing for the next round.
+    fn dispatch_fuzz_shard(
+        &self,
+        fleet_slot: usize,
+        indices: &[usize],
+        spec: &FuzzJobSpec,
+        merge: &Mutex<FuzzMerge<'_>>,
+    ) {
+        let worker = &self.fleet.workers[fleet_slot];
+        let sub = FuzzJobSpec {
+            seeds: indices.iter().map(|&i| spec.seeds[i]).collect(),
+            ..spec.clone()
+        };
+        let assignment_id = self.assignment_ids.fetch_add(1, Ordering::Relaxed);
+
+        let mut client = match Client::connect(&worker.addr) {
+            Ok(c) => c,
+            Err(_) => return self.fleet.mark_dead(fleet_slot),
+        };
+        // The stream heartbeats one frame per finished session, so the
+        // per-frame stall deadline must cover at least one session. For
+        // time-boxed jobs widen it to a generous multiple of the budget;
+        // unbounded jobs fall back to the configured fabric deadline.
+        let frame_deadline = self
+            .deadline
+            .max(Duration::from_millis(u64::from(spec.max_secs_ms).saturating_mul(4)));
+        if client.set_read_timeout(Some(frame_deadline)).is_err() {
+            return self.fleet.mark_dead(fleet_slot);
+        }
+
+        match client.assign_fuzz(assignment_id, &sub) {
+            Ok(Submission::Accepted { .. }) => {}
+            // Workers run fuzz sessions on the connection handler, not the
+            // campaign queue, so a rejection is a drain signal: hand the
+            // seeds back to the next round without penalising the worker.
+            Ok(Submission::Rejected { .. }) => {
+                self.metrics.assign_rejections.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => return self.fleet.mark_dead(fleet_slot),
+        }
+
+        // Map each streamed outcome back to its global seed index.
+        let streamed = client.stream_fuzz(|outcome| {
+            if let Some(pos) = spec.seeds.iter().position(|&s| s == outcome.seed) {
+                merge
+                    .lock()
+                    .expect("fuzz merge lock")
+                    .insert(pos, outcome.clone());
+            }
+        });
+        match streamed {
+            Ok((_, adas_serve::JobState::Done)) => {}
+            _ => self.fleet.mark_dead(fleet_slot),
+        }
+    }
+
     /// Coordinator metrics snapshot (hand-rolled JSON, like the serve
     /// metrics — the vendored `serde` is a compile-only stub).
     #[must_use]
     pub fn metrics_json(&self, active_campaigns: usize, admit: usize) -> String {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let m = &self.metrics;
+        let (store_cells, store_findings) = self.store_sink.appended();
         format!(
             "{{\n  \"role\": \"coordinator\",\n  \"admission\": {{ \"active\": {active_campaigns}, \
              \"limit\": {admit} }},\n  \"campaigns\": {{ \"done\": {}, \"rejected\": {} }},\n  \
              \"cells\": {{ \"assigned\": {}, \"merged\": {}, \"duplicates_dropped\": {} }},\n  \
+             \"fuzz\": {{ \"jobs\": {}, \"sessions\": {}, \"findings\": {}, \
+             \"dedup_hits\": {} }},\n  \
+             \"store\": {{ \"enabled\": {}, \"cells\": {store_cells}, \
+             \"findings\": {store_findings} }},\n  \
              \"redispatch_rounds\": {},\n  \"assign_rejections\": {},\n  \
              \"workers_lost\": {},\n  \"workers_revived\": {},\n  \"workers\": {}\n}}\n",
             g(&m.campaigns),
@@ -375,6 +628,11 @@ impl Coordinator {
             g(&m.cells_assigned),
             g(&m.cells_merged),
             g(&m.duplicates_dropped),
+            g(&m.fuzz_jobs),
+            g(&m.fuzz_sessions),
+            g(&m.fuzz_findings),
+            g(&m.fuzz_dedup_hits),
+            self.store_sink.enabled(),
             g(&m.redispatch_rounds),
             g(&m.assign_rejections),
             self.fleet.lost.load(Ordering::Relaxed),

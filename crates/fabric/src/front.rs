@@ -150,6 +150,39 @@ fn handle_request(
             result?;
             Ok(true)
         }
+        Request::SubmitFuzz(spec) => {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                send_response(
+                    stream,
+                    &Response::Rejected {
+                        retry_after_ms: 0,
+                        reason: "coordinator shutting down".to_owned(),
+                    },
+                )?;
+                return Ok(true);
+            }
+            // Fuzz jobs share the campaign admission budget.
+            if shared.active.fetch_add(1, Ordering::AcqRel) >= shared.admit {
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+                shared
+                    .coordinator
+                    .metrics
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                send_response(
+                    stream,
+                    &Response::Rejected {
+                        retry_after_ms: RETRY_AFTER_MS,
+                        reason: "coordinator at admission limit".to_owned(),
+                    },
+                )?;
+                return Ok(true);
+            }
+            let result = submit_fuzz_sharded(shared, stream, &spec);
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            result?;
+            Ok(true)
+        }
         Request::Metrics => {
             let json = shared
                 .coordinator
@@ -224,6 +257,51 @@ fn submit_sharded(
     let state = match outcome {
         Ok(_) => JobState::Done,
         Err(FabricError::NoLiveWorkers | FabricError::Stalled { .. }) => JobState::Failed,
+        Err(_) => JobState::Failed,
+    };
+    send_response(stream, &Response::JobDone { job_id, state })
+}
+
+/// Shards a fuzz-farm job across the fleet, streaming per-session
+/// outcomes in seed order with the same `Accepted` → `FuzzResult`* →
+/// `JobDone` shape a single daemon produces. The fleet-wide fold, repro
+/// persistence, and store write-through all happen inside
+/// [`Coordinator::run_fuzz_farm`].
+fn submit_fuzz_sharded(
+    shared: &FrontShared,
+    stream: &mut TcpStream,
+    spec: &adas_fuzz::FuzzJobSpec,
+) -> std::io::Result<()> {
+    if !spec.validate() {
+        return send_response(stream, &Response::Error("invalid fuzz job spec".to_owned()));
+    }
+    let job_id = shared.job_ids.fetch_add(1, Ordering::Relaxed);
+    send_response(
+        stream,
+        &Response::Accepted {
+            job_id,
+            cells: u32::try_from(spec.seeds.len()).unwrap_or(u32::MAX),
+        },
+    )?;
+    let mut stream_err = None;
+    let outcome = shared.coordinator.run_fuzz_farm(spec, |session| {
+        if stream_err.is_none() {
+            if let Err(e) = send_response(
+                stream,
+                &Response::FuzzResult {
+                    job_id,
+                    outcome: session.clone(),
+                },
+            ) {
+                stream_err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = stream_err {
+        return Err(e);
+    }
+    let state = match outcome {
+        Ok(_) => JobState::Done,
         Err(_) => JobState::Failed,
     };
     send_response(stream, &Response::JobDone { job_id, state })

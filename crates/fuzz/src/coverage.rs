@@ -56,6 +56,27 @@ pub fn lane_bucket(min_lane: f64) -> u64 {
     }
 }
 
+/// Bucket index for the context-trigger TTC threshold, seconds. 0 is the
+/// paper's immediate (always-armed) attack; positive thresholds grade into
+/// four bands so a patch armed deep inside the hazard horizon and one armed
+/// at cruise distance stop colliding into a single corpus bucket (the PR 9
+/// scheduler gene previously only contributed its on/off bit via the cell
+/// key).
+#[must_use]
+pub fn sched_bucket(sched_ttc: f64) -> u64 {
+    if !(sched_ttc > 0.0) {
+        0
+    } else if sched_ttc < 1.5 {
+        1
+    } else if sched_ttc < 3.0 {
+        2
+    } else if sched_ttc < 5.0 {
+        3
+    } else {
+        4
+    }
+}
+
 fn accident_code(a: Option<AccidentKind>) -> u64 {
     match a {
         None => 0,
@@ -76,7 +97,12 @@ impl Signature {
     /// Computes the signature of one finished run.
     #[must_use]
     pub fn of(case: &FuzzCase, record: &RunRecord, end: EndReason) -> Self {
-        let mut bits = case.cell_key() << 16;
+        // The scheduler bucket sits above the cell key (which tops out at
+        // bit 26 after the shift), so every immediate-attack signature —
+        // including the ones pinned inside committed repro files — is
+        // bit-identical to the pre-bucket encoding.
+        let mut bits = sched_bucket(case.sched_ttc) << 27;
+        bits |= case.cell_key() << 16;
         bits |= u64::from(record.h1_time.is_some()) << 15;
         bits |= u64::from(record.h2_time.is_some()) << 14;
         bits |= accident_code(record.accident) << 12;
@@ -135,6 +161,11 @@ impl Signature {
         const LANE: [&str; 6] = ["<0", "<0.1", "<0.3", "<0.8", "≥0.8", "n/a"];
         parts.push(format!("ttc{}", TTC[(b >> 3 & 7).min(5) as usize]));
         parts.push(format!("lane{}", LANE[(b & 7).min(5) as usize]));
+        const SCHED: [&str; 5] = ["", "<1.5", "<3", "<5", "≥5"];
+        let sched = (b >> 27 & 7).min(4) as usize;
+        if sched > 0 {
+            parts.push(format!("sched{}", SCHED[sched]));
+        }
         parts.join(" ")
     }
 }
@@ -188,6 +219,50 @@ mod tests {
             Signature::of(&c, &r, EndReason::TimeLimit),
             Signature::of(&c, &r, EndReason::TimeLimit)
         );
+    }
+
+    #[test]
+    fn sched_buckets_separate_trigger_bands() {
+        assert_eq!(sched_bucket(0.0), 0);
+        assert_eq!(sched_bucket(-1.0), 0);
+        assert_eq!(sched_bucket(f64::NAN), 0);
+        assert!(sched_bucket(0.5) < sched_bucket(2.0));
+        assert!(sched_bucket(2.0) < sched_bucket(4.0));
+        assert!(sched_bucket(4.0) < sched_bucket(6.0));
+        assert_eq!(sched_bucket(8.0), 4);
+    }
+
+    #[test]
+    fn scheduled_cases_at_different_ttc_get_distinct_signatures() {
+        let r = RunRecord::default();
+        let mut tight = case();
+        tight.sched_ttc = 1.0;
+        let mut loose = case();
+        loose.sched_ttc = 6.0;
+        let a = Signature::of(&tight, &r, EndReason::TimeLimit);
+        let b = Signature::of(&loose, &r, EndReason::TimeLimit);
+        // Same cell key (both scheduled), same behaviour — only the
+        // trigger band separates them.
+        assert_eq!(tight.cell_key(), loose.cell_key());
+        assert_ne!(a, b);
+        assert!(b.describe().contains("sched≥5"), "{}", b.describe());
+    }
+
+    #[test]
+    fn immediate_signatures_keep_the_pre_bucket_encoding() {
+        // Committed repro files pin exact signature values; an immediate
+        // case must hash to the legacy layout (no bits above 26 set).
+        let c = case();
+        let r = RunRecord::default();
+        let sig = Signature::of(&c, &r, EndReason::TimeLimit);
+        assert_eq!(sig.0 >> 27, 0);
+        let legacy = {
+            let mut bits = c.cell_key() << 16;
+            bits |= ttc_bucket(r.min_ttc) << 3;
+            bits |= lane_bucket(r.min_lane_line_distance);
+            Signature(bits)
+        };
+        assert_eq!(sig, legacy);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod case;
 pub mod coverage;
 pub mod engine;
+pub mod farm;
 pub mod oracle;
 pub mod repro;
 pub mod shrink;
@@ -37,5 +38,6 @@ pub mod shrink;
 pub use case::{run_case, run_case_with, FuzzCase};
 pub use coverage::Signature;
 pub use engine::{fuzz, Evaluation, Finding, FuzzConfig, FuzzReport};
+pub use farm::{fold, run_session, FarmFinding, FarmSummary, FuzzJobSpec, SessionOutcome};
 pub use oracle::{severity, OracleKind, Violation};
 pub use repro::Repro;

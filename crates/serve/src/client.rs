@@ -9,6 +9,7 @@ use crate::protocol::{
 };
 use adas_core::job::CellSpec;
 use adas_core::{CampaignSpec, CellStats, RunId};
+use adas_fuzz::farm::{FuzzJobSpec, SessionOutcome};
 use adas_scenarios::RunRecord;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -301,6 +302,96 @@ impl Client {
                 "unexpected response kind 0x{:02x}",
                 other.kind()
             ))),
+        }
+    }
+
+    /// Submits a fuzz-farm job and reads the acceptance frame. On
+    /// acceptance, follow with [`Self::stream_fuzz`].
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn submit_fuzz(&mut self, spec: &FuzzJobSpec) -> Result<Submission, ProtocolError> {
+        self.fuzz_submission(&Request::SubmitFuzz(spec.clone()))
+    }
+
+    /// Fabric dispatch: assigns a seed slice of a farm job to the worker.
+    /// On acceptance, follow with [`Self::stream_fuzz`].
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn assign_fuzz(
+        &mut self,
+        assignment_id: u64,
+        spec: &FuzzJobSpec,
+    ) -> Result<Submission, ProtocolError> {
+        self.fuzz_submission(&Request::AssignFuzz {
+            assignment_id,
+            spec: spec.clone(),
+        })
+    }
+
+    fn fuzz_submission(&mut self, request: &Request) -> Result<Submission, ProtocolError> {
+        match self.request(request)? {
+            Response::Accepted { job_id, cells } => Ok(Submission::Accepted { job_id, cells }),
+            Response::Rejected {
+                retry_after_ms,
+                reason,
+            } => Ok(Submission::Rejected {
+                retry_after_ms,
+                reason,
+            }),
+            Response::Error(e) => Err(ProtocolError::Io(format!("server error: {e}"))),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected response kind 0x{:02x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Consumes the session stream of an accepted fuzz job, invoking
+    /// `on_session` per completed session, until the terminal `JobDone`.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures, or an unexpected response kind.
+    pub fn stream_fuzz(
+        &mut self,
+        mut on_session: impl FnMut(&SessionOutcome),
+    ) -> Result<(Vec<SessionOutcome>, JobState), ProtocolError> {
+        let mut outcomes = Vec::new();
+        loop {
+            match recv_response(&mut self.stream)? {
+                Response::FuzzResult { outcome, .. } => {
+                    on_session(&outcome);
+                    outcomes.push(outcome);
+                }
+                Response::JobDone { state, .. } => return Ok((outcomes, state)),
+                other => {
+                    return Err(ProtocolError::Io(format!(
+                        "unexpected mid-stream response kind 0x{:02x}",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Submits a fuzz-farm job and blocks until every session has
+    /// streamed back. `on_session` observes outcomes as they arrive.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn run_fuzz(
+        &mut self,
+        spec: &FuzzJobSpec,
+        on_session: impl FnMut(&SessionOutcome),
+    ) -> Result<Result<(Vec<SessionOutcome>, JobState), Submission>, ProtocolError> {
+        match self.submit_fuzz(spec)? {
+            rejected @ Submission::Rejected { .. } => Ok(Err(rejected)),
+            Submission::Accepted { .. } => Ok(Ok(self.stream_fuzz(on_session)?)),
         }
     }
 

@@ -28,7 +28,9 @@
 //! * [`backoff`] — capped, deterministically-jittered retry schedule for
 //!   queue-full rejections;
 //! * [`metrics`] — counters + latency histograms, snapshotted as JSON;
-//! * [`signal`] — SIGTERM/SIGINT to an atomic flag, no external crates.
+//! * [`signal`] — SIGTERM/SIGINT to an atomic flag, no external crates;
+//! * [`sink`] — optional `ADAS_STORE_DIR` write-through of finished cells
+//!   and deduped fuzz findings to the columnar results store.
 //!
 //! Determinism contract: a campaign submitted over the wire produces
 //! bit-identical per-cell statistics to running the same grid in-process
@@ -45,6 +47,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod signal;
+pub mod sink;
 
 pub use client::{CampaignResult, Client, JobStatus, Submission, WorkerHello};
 pub use protocol::{JobState, ProtocolError, ReplayOutcome, Request, Response};

@@ -141,6 +141,23 @@ pub struct ServeMetrics {
     pub assignments: AtomicU64,
     /// Fabric: graceful `WorkerDrain` requests honoured.
     pub worker_drains: AtomicU64,
+    /// Fuzz farm: `SubmitFuzz`/`AssignFuzz` jobs accepted.
+    pub fuzz_jobs: AtomicU64,
+    /// Fuzz farm: coverage-guided sessions completed.
+    pub fuzz_sessions: AtomicU64,
+    /// Fuzz farm: simulation runs consumed by sessions.
+    pub fuzz_runs: AtomicU64,
+    /// Fuzz farm: sum of final per-session corpus sizes.
+    pub fuzz_corpus: AtomicU64,
+    /// Fuzz farm: findings surviving the local `(oracle, signature)` fold.
+    pub fuzz_findings: AtomicU64,
+    /// Fuzz farm: findings dropped as duplicates by that fold.
+    pub fuzz_dedup_hits: AtomicU64,
+    /// Fuzz farm: deduped findings per oracle family, indexed by
+    /// `OracleKind::code()`.
+    pub fuzz_by_oracle: [AtomicU64; 6],
+    /// Fuzz farm: per-session wall time.
+    pub fuzz_session_wall: Histogram,
     /// Queue-entry to execution-start latency.
     pub queue_wait: Histogram,
     /// Per-cell wall time (hit or compute).
@@ -176,6 +193,14 @@ impl ServeMetrics {
             heartbeats: AtomicU64::new(0),
             assignments: AtomicU64::new(0),
             worker_drains: AtomicU64::new(0),
+            fuzz_jobs: AtomicU64::new(0),
+            fuzz_sessions: AtomicU64::new(0),
+            fuzz_runs: AtomicU64::new(0),
+            fuzz_corpus: AtomicU64::new(0),
+            fuzz_findings: AtomicU64::new(0),
+            fuzz_dedup_hits: AtomicU64::new(0),
+            fuzz_by_oracle: Default::default(),
+            fuzz_session_wall: Histogram::default(),
             queue_wait: Histogram::default(),
             cell_wall: Histogram::default(),
             model_train: Histogram::default(),
@@ -221,6 +246,12 @@ impl ServeMetrics {
         };
         let (queued, running) = *self.gauges.lock().expect("gauges lock");
         let cs = cache.stats();
+        let by_oracle = self
+            .fuzz_by_oracle
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed).to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\n  \"uptime_s\": {uptime:.3},\n  \"jobs\": {{ \"submitted\": {}, \"rejected\": {}, \
              \"done\": {}, \"cancelled\": {}, \"failed\": {}, \"queued\": {queued}, \
@@ -233,9 +264,11 @@ impl ServeMetrics {
              \"connections\": {},\n  \"protocol_errors\": {},\n  \
              \"fabric\": {{ \"workers_registered\": {}, \"heartbeats\": {}, \
              \"assignments\": {}, \"worker_drains\": {} }},\n  \
+             \"fuzz\": {{ \"jobs\": {}, \"sessions\": {}, \"runs\": {}, \"corpus\": {}, \
+             \"findings\": {}, \"dedup_hits\": {}, \"by_oracle\": [{by_oracle}] }},\n  \
              \"artifact_cache\": {{ \"enabled\": {}, \"hits\": {}, \"misses\": {}, \
              \"writes\": {}, \"bypasses\": {} }},\n  \"latency\": {{\n    \"queue_wait_ms\": {},\n    \
-             \"cell_wall_ms\": {},\n    \"model_train_ms\": {}\n  }}\n}}\n",
+             \"cell_wall_ms\": {},\n    \"model_train_ms\": {},\n    \"fuzz_session_ms\": {}\n  }}\n}}\n",
             g(&self.jobs_submitted),
             g(&self.jobs_rejected),
             g(&self.jobs_done),
@@ -254,6 +287,12 @@ impl ServeMetrics {
             g(&self.heartbeats),
             g(&self.assignments),
             g(&self.worker_drains),
+            g(&self.fuzz_jobs),
+            g(&self.fuzz_sessions),
+            g(&self.fuzz_runs),
+            g(&self.fuzz_corpus),
+            g(&self.fuzz_findings),
+            g(&self.fuzz_dedup_hits),
             cache.is_enabled(),
             cs.hits,
             cs.misses,
@@ -262,6 +301,7 @@ impl ServeMetrics {
             self.queue_wait.to_json(),
             self.cell_wall.to_json(),
             self.model_train.to_json(),
+            self.fuzz_session_wall.to_json(),
         )
     }
 }
@@ -312,6 +352,8 @@ mod tests {
             "\"hit_rate\": 1.0000",
             "\"queue\": { \"depth\": 3, \"capacity\": 8",
             "\"fabric\"",
+            "\"fuzz\"",
+            "\"by_oracle\": [0, 0, 0, 0, 0, 0]",
             "\"queue_wait_ms\"",
             "\"protocol_errors\"",
         ] {

@@ -263,6 +263,23 @@ pub enum Request {
     /// Coordinator → worker: leave the fleet gracefully — stop accepting
     /// work, drain, exit. Answered with [`Response::ShutdownAck`].
     WorkerDrain,
+    /// Submit a fuzz-farm job: one time-boxed coverage-guided session per
+    /// seed in the spec. The server streams [`Response::Accepted`] (with
+    /// `cells` = session count), one [`Response::FuzzResult`] per
+    /// completed session in spec order, then [`Response::JobDone`].
+    SubmitFuzz(adas_fuzz::FuzzJobSpec),
+    /// Coordinator → worker: run a subset of a farm job's sessions.
+    ///
+    /// `spec.seeds` holds only the assigned seeds; the worker streams the
+    /// same `Accepted` / `FuzzResult` / `JobDone` frames with
+    /// `job_id = assignment_id`. Outcomes carry their seed, so the
+    /// coordinator folds slices deterministically in *global* seed order.
+    AssignFuzz {
+        /// Coordinator-assigned id echoed on every streamed frame.
+        assignment_id: u64,
+        /// The job budget plus the assigned seed subset.
+        spec: adas_fuzz::FuzzJobSpec,
+    },
 }
 
 /// Server → client messages.
@@ -352,6 +369,15 @@ pub enum Response {
         /// Jobs currently executing.
         running: u32,
     },
+    /// One completed fuzz session (streamed in spec-seed order as
+    /// sessions finish, for [`Request::SubmitFuzz`] /
+    /// [`Request::AssignFuzz`]).
+    FuzzResult {
+        /// Job the session belongs to.
+        job_id: u64,
+        /// The session's full outcome, shrunk findings included.
+        outcome: adas_fuzz::SessionOutcome,
+    },
 }
 
 const K_SUBMIT_CAMPAIGN: u8 = 0x01;
@@ -365,6 +391,8 @@ const K_REGISTER_WORKER: u8 = 0x08;
 const K_HEARTBEAT: u8 = 0x09;
 const K_ASSIGN_CELLS: u8 = 0x0A;
 const K_WORKER_DRAIN: u8 = 0x0B;
+const K_SUBMIT_FUZZ: u8 = 0x0C;
+const K_ASSIGN_FUZZ: u8 = 0x0D;
 
 const K_ACCEPTED: u8 = 0x81;
 const K_REJECTED: u8 = 0x82;
@@ -378,6 +406,7 @@ const K_ERROR: u8 = 0x89;
 const K_SHUTDOWN_ACK: u8 = 0x8A;
 const K_WORKER_HELLO: u8 = 0x8B;
 const K_HEARTBEAT_ACK: u8 = 0x8C;
+const K_FUZZ_RESULT: u8 = 0x8D;
 
 fn utf8(bytes: &[u8]) -> Result<String, ProtocolError> {
     String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Malformed("non-UTF-8 string"))
@@ -399,6 +428,8 @@ impl Request {
             Request::Heartbeat { .. } => K_HEARTBEAT,
             Request::AssignCells { .. } => K_ASSIGN_CELLS,
             Request::WorkerDrain => K_WORKER_DRAIN,
+            Request::SubmitFuzz(_) => K_SUBMIT_FUZZ,
+            Request::AssignFuzz { .. } => K_ASSIGN_FUZZ,
         }
     }
 
@@ -436,6 +467,14 @@ impl Request {
                 for i in indices {
                     w.u32(*i);
                 }
+                w.blob(&spec.to_bytes());
+            }
+            Request::SubmitFuzz(spec) => w.bytes(&spec.to_bytes()),
+            Request::AssignFuzz {
+                assignment_id,
+                spec,
+            } => {
+                w.u64(*assignment_id);
                 w.blob(&spec.to_bytes());
             }
         }
@@ -524,12 +563,27 @@ impl Request {
                 }
             }
             K_WORKER_DRAIN => Request::WorkerDrain,
+            K_SUBMIT_FUZZ => Request::SubmitFuzz(
+                adas_fuzz::FuzzJobSpec::from_bytes(payload)
+                    .ok_or(ProtocolError::Malformed("fuzz spec"))?,
+            ),
+            K_ASSIGN_FUZZ => {
+                let assignment_id =
+                    r.u64().ok_or(ProtocolError::Malformed("assignment id"))?;
+                let spec_bytes = r.blob().ok_or(ProtocolError::Malformed("fuzz spec"))?;
+                Request::AssignFuzz {
+                    assignment_id,
+                    spec: adas_fuzz::FuzzJobSpec::from_bytes(spec_bytes)
+                        .ok_or(ProtocolError::Malformed("fuzz spec codec"))?,
+                }
+            }
             other => return Err(ProtocolError::UnknownKind(other)),
         };
-        // SubmitCampaign consumed the payload wholesale (its codec enforces
-        // exact length); the fixed-layout kinds must leave nothing behind.
+        // SubmitCampaign / SubmitFuzz consumed the payload wholesale (their
+        // codecs enforce exact length); the fixed-layout kinds must leave
+        // nothing behind.
         match &request {
-            Request::SubmitCampaign(_) => {}
+            Request::SubmitCampaign(_) | Request::SubmitFuzz(_) => {}
             _ if !r.exhausted() => return Err(ProtocolError::Malformed("trailing bytes")),
             _ => {}
         }
@@ -554,6 +608,7 @@ impl Response {
             Response::ShutdownAck => K_SHUTDOWN_ACK,
             Response::WorkerHello { .. } => K_WORKER_HELLO,
             Response::HeartbeatAck { .. } => K_HEARTBEAT_ACK,
+            Response::FuzzResult { .. } => K_FUZZ_RESULT,
         }
     }
 
@@ -632,6 +687,10 @@ impl Response {
                 w.u64(*nonce);
                 w.u32(*queued);
                 w.u32(*running);
+            }
+            Response::FuzzResult { job_id, outcome } => {
+                w.u64(*job_id);
+                w.blob(&outcome.to_bytes());
             }
         }
         w.into_bytes()
@@ -724,6 +783,16 @@ impl Response {
                 queued: r.u32().ok_or(ProtocolError::Malformed("queued"))?,
                 running: r.u32().ok_or(ProtocolError::Malformed("running"))?,
             },
+            K_FUZZ_RESULT => {
+                let job_id = r.u64().ok_or(ProtocolError::Malformed("job id"))?;
+                let outcome_bytes =
+                    r.blob().ok_or(ProtocolError::Malformed("fuzz outcome"))?;
+                Response::FuzzResult {
+                    job_id,
+                    outcome: adas_fuzz::SessionOutcome::from_bytes(outcome_bytes)
+                        .ok_or(ProtocolError::Malformed("fuzz outcome codec"))?,
+                }
+            }
             other => return Err(ProtocolError::UnknownKind(other)),
         };
         if !r.exhausted() {

@@ -19,6 +19,8 @@ use crate::protocol::{
 };
 use crate::queue::{Job, JobEvent, JobQueue, JobRegistry, PushError};
 use crate::signal;
+use crate::sink::{self, StoreSink};
+use adas_fuzz::farm::{self, FuzzJobSpec};
 use adas_bench::model_fingerprint;
 use adas_core::job::CellSpec;
 use adas_core::{
@@ -105,6 +107,8 @@ pub struct Shared {
     memo: Mutex<HashMap<u64, CellStats>>,
     /// Architecture the resident models are trained at.
     model_spec: ModelSpec,
+    /// Optional `ADAS_STORE_DIR` write-through for cells and findings.
+    store_sink: StoreSink,
     shutdown: AtomicBool,
     job_ids: AtomicU64,
 }
@@ -120,6 +124,7 @@ impl Shared {
             models: Mutex::new(HashMap::new()),
             memo: Mutex::new(HashMap::new()),
             model_spec: config.model_spec,
+            store_sink: StoreSink::from_env(),
             shutdown: AtomicBool::new(false),
             job_ids: AtomicU64::new(1),
         }
@@ -293,6 +298,9 @@ fn execute_job(shared: &Shared, job: &Arc<Job>) {
     let ids = spec.run_ids();
 
     let mut outcome = JobState::Done;
+    // Store write-through batches the whole grid into one append (one
+    // segment per job, not one per cell).
+    let mut store_rows = Vec::new();
     for (index, cell) in spec.cells.iter().enumerate() {
         if job.ctl.is_cancelled() {
             outcome = JobState::Cancelled;
@@ -305,6 +313,9 @@ fn execute_job(shared: &Shared, job: &Arc<Job>) {
         };
         shared.metrics.cell_wall.record(t0.elapsed());
         shared.metrics.cells_done.fetch_add(1, Ordering::Relaxed);
+        if shared.store_sink.enabled() {
+            store_rows.push(sink::cell_row(spec, cell, &stats));
+        }
         job.bump_cells_done();
         // Fabric assignments stream the coordinator's global grid index.
         let sent = job.events.send(JobEvent::Cell {
@@ -319,6 +330,7 @@ fn execute_job(shared: &Shared, job: &Arc<Job>) {
         }
     }
 
+    shared.store_sink.cells(&store_rows);
     job.set_state(outcome);
     let counter = match outcome {
         JobState::Done => &shared.metrics.jobs_done,
@@ -529,7 +541,97 @@ fn handle_request(
             shared.begin_shutdown();
             Ok(false)
         }
+        Request::SubmitFuzz(spec) => handle_fuzz(shared, stream, None, &spec),
+        Request::AssignFuzz {
+            assignment_id,
+            spec,
+        } => handle_fuzz(shared, stream, Some(assignment_id), &spec),
     }
+}
+
+/// Runs a fuzz-farm job (or a coordinator-assigned slice of one)
+/// synchronously on this connection: `Accepted`, one `FuzzResult` per
+/// seed in spec order, `JobDone`. Sessions are CPU-bound and internally
+/// parallel (the engine fans batches onto the work-stealing executor), so
+/// they run here rather than through the campaign queue — a farm worker
+/// is dedicated to fuzzing while the job lasts.
+fn handle_fuzz(
+    shared: &Shared,
+    stream: &mut impl Write,
+    assignment: Option<u64>,
+    spec: &FuzzJobSpec,
+) -> std::io::Result<bool> {
+    if !spec.validate() {
+        send_response(stream, &Response::Error("invalid fuzz job spec".into()))?;
+        return Ok(true);
+    }
+    let job_id = assignment
+        .unwrap_or_else(|| shared.job_ids.fetch_add(1, Ordering::Relaxed));
+    shared.metrics.fuzz_jobs.fetch_add(1, Ordering::Relaxed);
+    send_response(
+        stream,
+        &Response::Accepted {
+            job_id,
+            cells: spec.seeds.len() as u32,
+        },
+    )?;
+
+    let mut outcomes = Vec::with_capacity(spec.seeds.len());
+    let mut state = JobState::Done;
+    for &seed in &spec.seeds {
+        if shared.is_shutdown() {
+            state = JobState::Cancelled;
+            break;
+        }
+        let t0 = Instant::now();
+        let outcome = farm::run_session(spec, seed);
+        shared.metrics.fuzz_session_wall.record(t0.elapsed());
+        shared.metrics.fuzz_sessions.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .fuzz_runs
+            .fetch_add(outcome.runs, Ordering::Relaxed);
+        shared
+            .metrics
+            .fuzz_corpus
+            .fetch_add(outcome.corpus, Ordering::Relaxed);
+        let sent = send_response(
+            stream,
+            &Response::FuzzResult {
+                job_id,
+                outcome: outcome.clone(),
+            },
+        );
+        if sent.is_err() {
+            // Submitter gone: stop fuzzing, nothing left to stream to.
+            return Ok(false);
+        }
+        outcomes.push(outcome);
+    }
+
+    // Local fold: feeds the fleet metrics and the store write-through.
+    // (A coordinator folds across *all* workers itself — same code, so
+    // its global fold subsumes these per-worker ones.)
+    let summary = farm::fold(spec, &outcomes);
+    shared
+        .metrics
+        .fuzz_findings
+        .fetch_add(summary.findings.len() as u64, Ordering::Relaxed);
+    shared
+        .metrics
+        .fuzz_dedup_hits
+        .fetch_add(summary.dedup_hits, Ordering::Relaxed);
+    for (slot, n) in shared.metrics.fuzz_by_oracle.iter().zip(summary.by_oracle()) {
+        slot.fetch_add(n, Ordering::Relaxed);
+    }
+    // Only direct submissions persist: a coordinator-assigned slice would
+    // double-write rows the coordinator's global fold also persists.
+    if assignment.is_none() {
+        let rows: Vec<_> = summary.findings.iter().map(sink::finding_row).collect();
+        shared.store_sink.findings(&rows);
+    }
+    send_response(stream, &Response::JobDone { job_id, state })?;
+    Ok(true)
 }
 
 /// Accepts a campaign into the queue (or bounces it with backpressure) and

@@ -356,13 +356,25 @@ fn bad_magic_is_rejected() {
 
 #[test]
 fn unknown_kind_bytes_are_rejected_by_decode() {
-    for kind in [0x00u8, 0x0C, 0x7F, 0x8D, 0xFF] {
+    for kind in [0x00u8, 0x0E, 0x7F, 0x8E, 0xFF] {
         let wire = header(VERSION, kind, 0);
         let mut cursor: &[u8] = &wire;
         let (k, payload) = read_frame(&mut cursor).expect("framing is fine");
         assert_eq!(Request::decode(k, &payload), Err(ProtocolError::UnknownKind(kind)));
         assert_eq!(Response::decode(k, &payload), Err(ProtocolError::UnknownKind(kind)));
     }
+    // The fuzz-farm kinds are one-directional: 0x0C/0x0D are requests
+    // (an empty payload is malformed, not unknown), 0x8D is a response.
+    assert_eq!(
+        Request::decode(0x0C, &[]),
+        Err(ProtocolError::Malformed("fuzz spec"))
+    );
+    assert_eq!(Response::decode(0x0C, &[]), Err(ProtocolError::UnknownKind(0x0C)));
+    assert_eq!(Request::decode(0x8D, &[]), Err(ProtocolError::UnknownKind(0x8D)));
+    assert_eq!(
+        Response::decode(0x8D, &[]),
+        Err(ProtocolError::Malformed("job id"))
+    );
 }
 
 #[test]

@@ -1,0 +1,477 @@
+//! The fixed-width row types.
+//!
+//! Rows carry **counts**, not percentages: counts merge exactly across
+//! segments and shards (addition is associative; re-derived percentages
+//! are bit-identical no matter how the rows were batched), and the
+//! fixed-width encoding is what lets the segment reader validate a block
+//! structurally (`payload_len == count × width`) before trusting any
+//! field.
+
+use adas_core::job::{ByteReader, ByteWriter};
+
+/// Sentinel for "aggregated over this axis" in [`CellRow::scenario`] /
+/// [`CellRow::position`] (the CLI harnesses aggregate per cell, the
+/// per-run paths record the actual coordinate).
+pub const ANY: u8 = 0xFF;
+
+/// What a segment holds. The kind byte lives in the segment header, so a
+/// file never mixes row widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// [`CellRow`] — campaign cell outcome counts.
+    Cell,
+    /// [`FindingRow`] — one deduped fuzz finding.
+    Finding,
+}
+
+impl RecordKind {
+    /// Stable on-disk code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            RecordKind::Cell => 1,
+            RecordKind::Finding => 2,
+        }
+    }
+
+    /// Parses [`RecordKind::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(RecordKind::Cell),
+            2 => Some(RecordKind::Finding),
+            _ => None,
+        }
+    }
+
+    /// Fixed record width in bytes for this kind.
+    #[must_use]
+    pub fn width(self) -> usize {
+        match self {
+            RecordKind::Cell => CellRow::WIDTH,
+            RecordKind::Finding => FindingRow::WIDTH,
+        }
+    }
+
+    /// Segment file-name prefix (`cells-00000001.seg`).
+    #[must_use]
+    pub fn prefix(self) -> &'static str {
+        match self {
+            RecordKind::Cell => "cells",
+            RecordKind::Finding => "findings",
+        }
+    }
+}
+
+/// One campaign cell's outcome counts: the discrete grid coordinates plus
+/// everything [`adas_core::CellStats`] needs, as exact integers (and time
+/// sums, whose addition is the mean's numerator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellRow {
+    /// Scenario index 0–5, or [`ANY`] when aggregated over scenarios.
+    pub scenario: u8,
+    /// Spawn position 0/1, or [`ANY`].
+    pub position: u8,
+    /// Fault: 0 none, 1 relative-distance, 2 curvature, 3 mixed.
+    pub fault: u8,
+    /// Table VI intervention-row index.
+    pub iv_row: u8,
+    /// Mitigation strategy for ML rows: 0 cusum, 1 ensemble, 2 maskcheck.
+    pub mitigation: u8,
+    /// 1 when the attack ran under a context scheduler, 0 immediate.
+    pub sched: u8,
+    /// Campaign seed the runs executed under.
+    pub seed: u64,
+    /// Total runs folded into this row.
+    pub runs: u32,
+    /// Forward collisions (A1).
+    pub a1: u32,
+    /// Lane violations (A2).
+    pub a2: u32,
+    /// Accident-free runs.
+    pub prevented: u32,
+    /// Runs with any hazard flag.
+    pub hazard: u32,
+    /// Runs in which AEB braked.
+    pub aeb_n: u32,
+    /// Runs in which the driver's brake channel triggered.
+    pub driver_brake_n: u32,
+    /// Runs in which the driver's steer channel triggered.
+    pub driver_steer_n: u32,
+    /// Runs in which ML recovery engaged.
+    pub ml_n: u32,
+    /// Sum of fault-start → AEB-braking times, seconds.
+    pub aeb_time_sum: f64,
+    /// Runs contributing to [`CellRow::aeb_time_sum`].
+    pub aeb_time_n: u32,
+    /// Sum of fault-start → driver-brake times, seconds.
+    pub driver_brake_time_sum: f64,
+    /// Runs contributing to [`CellRow::driver_brake_time_sum`].
+    pub driver_brake_time_n: u32,
+    /// Sum of fault-start → driver-steer times, seconds.
+    pub driver_steer_time_sum: f64,
+    /// Runs contributing to [`CellRow::driver_steer_time_sum`].
+    pub driver_steer_time_n: u32,
+}
+
+impl CellRow {
+    /// Encoded width: 6 × u8 + u64 + 9 × u32 + 3 × (f64 + u32).
+    pub const WIDTH: usize = 6 + 8 + 9 * 4 + 3 * 12;
+
+    /// Encodes into exactly [`CellRow::WIDTH`] bytes.
+    pub fn encode(&self, out: &mut ByteWriter) {
+        for v in [
+            self.scenario,
+            self.position,
+            self.fault,
+            self.iv_row,
+            self.mitigation,
+            self.sched,
+        ] {
+            out.u8(v);
+        }
+        out.u64(self.seed);
+        for v in [
+            self.runs,
+            self.a1,
+            self.a2,
+            self.prevented,
+            self.hazard,
+            self.aeb_n,
+            self.driver_brake_n,
+            self.driver_steer_n,
+            self.ml_n,
+        ] {
+            out.u32(v);
+        }
+        for (sum, n) in [
+            (self.aeb_time_sum, self.aeb_time_n),
+            (self.driver_brake_time_sum, self.driver_brake_time_n),
+            (self.driver_steer_time_sum, self.driver_steer_time_n),
+        ] {
+            out.f64(sum);
+            out.u32(n);
+        }
+    }
+
+    /// Decodes one row; `None` on short input.
+    #[must_use]
+    pub fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let mut u8s = [0u8; 6];
+        for slot in &mut u8s {
+            *slot = r.u8()?;
+        }
+        let seed = r.u64()?;
+        let mut u32s = [0u32; 9];
+        for slot in &mut u32s {
+            *slot = r.u32()?;
+        }
+        let mut times = [(0.0f64, 0u32); 3];
+        for slot in &mut times {
+            *slot = (r.f64()?, r.u32()?);
+        }
+        Some(Self {
+            scenario: u8s[0],
+            position: u8s[1],
+            fault: u8s[2],
+            iv_row: u8s[3],
+            mitigation: u8s[4],
+            sched: u8s[5],
+            seed,
+            runs: u32s[0],
+            a1: u32s[1],
+            a2: u32s[2],
+            prevented: u32s[3],
+            hazard: u32s[4],
+            aeb_n: u32s[5],
+            driver_brake_n: u32s[6],
+            driver_steer_n: u32s[7],
+            ml_n: u32s[8],
+            aeb_time_sum: times[0].0,
+            aeb_time_n: times[0].1,
+            driver_brake_time_sum: times[1].0,
+            driver_brake_time_n: times[1].1,
+            driver_steer_time_sum: times[2].0,
+            driver_steer_time_n: times[2].1,
+        })
+    }
+
+    /// Converts an aggregate [`adas_core::CellStats`] back into exact
+    /// counts. Lossless because every `CellStats` percentage is
+    /// `100 · count / runs` of integer counts, so rounding the product
+    /// recovers the integer exactly; the stored time sums are
+    /// `mean × n`.
+    #[must_use]
+    pub fn from_stats(
+        coords: (u8, u8, u8, u8, u8, u8),
+        seed: u64,
+        s: &adas_core::CellStats,
+    ) -> Self {
+        let runs = u32::try_from(s.runs).unwrap_or(u32::MAX);
+        let count = |pct: f64| {
+            let n = (pct * f64::from(runs) / 100.0).round();
+            if n.is_finite() && n >= 0.0 {
+                n as u32
+            } else {
+                0
+            }
+        };
+        let a1 = count(s.a1_pct);
+        let a2 = count(s.a2_pct);
+        let (aeb_n, driver_brake_n, driver_steer_n, ml_n) = (
+            count(s.aeb_trigger_rate),
+            count(s.driver_brake_trigger_rate),
+            count(s.driver_steer_trigger_rate),
+            count(s.ml_trigger_rate),
+        );
+        // Mitigation-time means are reported over the triggered runs.
+        let sum_of = |mean: Option<f64>, n: u32| mean.map_or(0.0, |m| m * f64::from(n));
+        Self {
+            scenario: coords.0,
+            position: coords.1,
+            fault: coords.2,
+            iv_row: coords.3,
+            mitigation: coords.4,
+            sched: coords.5,
+            seed,
+            runs,
+            a1,
+            a2,
+            prevented: count(s.prevented_pct),
+            hazard: count(s.hazard_pct),
+            aeb_n,
+            driver_brake_n,
+            driver_steer_n,
+            ml_n,
+            aeb_time_sum: sum_of(s.aeb_mitigation_time, aeb_n),
+            aeb_time_n: if s.aeb_mitigation_time.is_some() { aeb_n } else { 0 },
+            driver_brake_time_sum: sum_of(s.driver_brake_mitigation_time, driver_brake_n),
+            driver_brake_time_n: if s.driver_brake_mitigation_time.is_some() {
+                driver_brake_n
+            } else {
+                0
+            },
+            driver_steer_time_sum: sum_of(s.driver_steer_mitigation_time, driver_steer_n),
+            driver_steer_time_n: if s.driver_steer_mitigation_time.is_some() {
+                driver_steer_n
+            } else {
+                0
+            },
+        }
+    }
+}
+
+/// One deduped fuzz finding: the oracle, the behavioural signature it was
+/// deduped under, and the full shrunk case — self-contained, so the store
+/// alone can answer "which parameters break which property where".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FindingRow {
+    /// Oracle family code ([`adas_fuzz` `OracleKind::code`]).
+    pub oracle: u8,
+    /// Scenario index 0–5.
+    pub scenario: u8,
+    /// Spawn position 0/1.
+    pub position: u8,
+    /// Fault code (as [`CellRow::fault`]).
+    pub fault: u8,
+    /// Table VI intervention-row index.
+    pub iv_row: u8,
+    /// Scheduler TTC bucket of the shrunk case (0 = immediate).
+    pub sched: u8,
+    /// Fuzz session seed that produced the finding.
+    pub session_seed: u64,
+    /// Behavioural signature (the fleet dedup key, with the oracle).
+    pub signature: u64,
+    /// Shrunk-case fingerprint (= repro file stem suffix).
+    pub fingerprint: u64,
+    /// Repetition index of the shrunk case.
+    pub repetition: u32,
+    /// Shrunk continuous parameters, in `FuzzCase` field order.
+    pub params: [f64; 8],
+}
+
+impl FindingRow {
+    /// Encoded width: 6 × u8 + 3 × u64 + u32 + 8 × f64.
+    pub const WIDTH: usize = 6 + 3 * 8 + 4 + 8 * 8;
+
+    /// Encodes into exactly [`FindingRow::WIDTH`] bytes.
+    pub fn encode(&self, out: &mut ByteWriter) {
+        for v in [
+            self.oracle,
+            self.scenario,
+            self.position,
+            self.fault,
+            self.iv_row,
+            self.sched,
+        ] {
+            out.u8(v);
+        }
+        out.u64(self.session_seed);
+        out.u64(self.signature);
+        out.u64(self.fingerprint);
+        out.u32(self.repetition);
+        for p in self.params {
+            out.f64(p);
+        }
+    }
+
+    /// Decodes one row; `None` on short input.
+    #[must_use]
+    pub fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let mut u8s = [0u8; 6];
+        for slot in &mut u8s {
+            *slot = r.u8()?;
+        }
+        let session_seed = r.u64()?;
+        let signature = r.u64()?;
+        let fingerprint = r.u64()?;
+        let repetition = r.u32()?;
+        let mut params = [0.0f64; 8];
+        for slot in &mut params {
+            *slot = r.f64()?;
+        }
+        Some(Self {
+            oracle: u8s[0],
+            scenario: u8s[1],
+            position: u8s[2],
+            fault: u8s[3],
+            iv_row: u8s[4],
+            sched: u8s[5],
+            session_seed,
+            signature,
+            fingerprint,
+            repetition,
+            params,
+        })
+    }
+}
+
+/// Encodes a slice of cell rows into one contiguous fixed-width payload.
+#[must_use]
+pub fn encode_cells(rows: &[CellRow]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for row in rows {
+        row.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Encodes a slice of finding rows into one contiguous payload.
+#[must_use]
+pub fn encode_findings(rows: &[FindingRow]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for row in rows {
+        row.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_cell(i: u32) -> CellRow {
+        CellRow {
+            scenario: (i % 6) as u8,
+            position: (i % 2) as u8,
+            fault: (i % 4) as u8,
+            iv_row: (i % 8) as u8,
+            mitigation: (i % 3) as u8,
+            sched: (i % 2) as u8,
+            seed: 2025,
+            runs: 120,
+            a1: i % 40,
+            a2: i % 17,
+            prevented: 120 - (i % 40) - (i % 17),
+            hazard: i % 90,
+            aeb_n: i % 60,
+            driver_brake_n: i % 50,
+            driver_steer_n: i % 30,
+            ml_n: 0,
+            aeb_time_sum: f64::from(i) * 0.321,
+            aeb_time_n: i % 60,
+            driver_brake_time_sum: f64::from(i) * 1.5,
+            driver_brake_time_n: i % 50,
+            driver_steer_time_sum: 0.0,
+            driver_steer_time_n: 0,
+        }
+    }
+
+    #[test]
+    fn cell_row_width_is_exact() {
+        let row = sample_cell(7);
+        let mut w = ByteWriter::new();
+        row.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), CellRow::WIDTH);
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(CellRow::decode(&mut r), Some(row));
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn finding_row_width_is_exact() {
+        let row = FindingRow {
+            oracle: 3,
+            scenario: 4,
+            position: 0,
+            fault: 1,
+            iv_row: 2,
+            sched: 0,
+            session_seed: 42,
+            signature: 0xDEAD_BEEF,
+            fingerprint: 0x1234_5678_9ABC_DEF0,
+            repetition: 1,
+            params: [0.5, 1.0, -20.25, 12.0, 1.0, 1.0, 0.0, 0.0],
+        };
+        let mut w = ByteWriter::new();
+        row.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), FindingRow::WIDTH);
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(FindingRow::decode(&mut r), Some(row));
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn truncated_rows_decode_to_none() {
+        let bytes = encode_cells(&[sample_cell(1)]);
+        for cut in 0..CellRow::WIDTH {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(CellRow::decode(&mut r).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_recovers_counts() {
+        use adas_core::CellStats;
+        let s = CellStats {
+            runs: 120,
+            a1_pct: 100.0 * 13.0 / 120.0,
+            a2_pct: 100.0 * 7.0 / 120.0,
+            prevented_pct: 100.0 * 100.0 / 120.0,
+            hazard_pct: 100.0 * 119.0 / 120.0,
+            aeb_mitigation_time: Some(1.25),
+            driver_brake_mitigation_time: None,
+            driver_steer_mitigation_time: Some(3.5),
+            aeb_trigger_rate: 100.0 * 55.0 / 120.0,
+            driver_brake_trigger_rate: 100.0 * 44.0 / 120.0,
+            driver_steer_trigger_rate: 100.0 * 11.0 / 120.0,
+            ml_trigger_rate: 0.0,
+        };
+        let row = CellRow::from_stats((super::ANY, super::ANY, 1, 2, 0, 0), 2025, &s);
+        assert_eq!(row.runs, 120);
+        assert_eq!(row.a1, 13);
+        assert_eq!(row.a2, 7);
+        assert_eq!(row.prevented, 100);
+        assert_eq!(row.hazard, 119);
+        assert_eq!(row.aeb_n, 55);
+        assert_eq!(row.driver_brake_n, 44);
+        assert_eq!(row.driver_steer_n, 11);
+        // No driver-brake mean reported → no time contribution.
+        assert_eq!(row.driver_brake_time_n, 0);
+        assert_eq!(row.driver_brake_time_sum, 0.0);
+        // Means re-derive exactly.
+        assert!((row.aeb_time_sum / f64::from(row.aeb_time_n) - 1.25).abs() < 1e-12);
+    }
+}
